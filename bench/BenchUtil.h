@@ -1,0 +1,82 @@
+//===- bench/BenchUtil.h - Shared experiment harness helpers ---*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the experiment binaries (E1–E8): wall-clock timing,
+/// multi-threaded workload driving with a common start line, and STM
+/// statistics capture around a run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_BENCH_BENCHUTIL_H
+#define OTM_BENCH_BENCHUTIL_H
+
+#include "stm/Stm.h"
+#include "wstm/WordStm.h"
+#include "support/ThreadBarrier.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace otm {
+namespace bench {
+
+/// Runs \p Body once and returns elapsed seconds.
+template <typename FnType> double timeIt(FnType &&Body) {
+  auto Begin = std::chrono::steady_clock::now();
+  Body();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Begin).count();
+}
+
+/// Runs \p Worker(threadIndex) on \p NumThreads threads, released together;
+/// returns elapsed seconds measured across all of them. Workers flush
+/// their STM statistics before joining.
+inline double runThreads(unsigned NumThreads,
+                         const std::function<void(unsigned)> &Worker) {
+  ThreadBarrier StartLine(NumThreads + 1);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      StartLine.arriveAndWait();
+      Worker(T);
+      stm::TxManager::current().flushStats();
+      wstm::WTxManager::current().flushStats();
+    });
+  // Clock starts before the release: on a single-core host the releasing
+  // arrival may deschedule this thread until the workers are already done.
+  auto Begin = std::chrono::steady_clock::now();
+  StartLine.arriveAndWait();
+  for (std::thread &T : Threads)
+    T.join();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Begin).count();
+}
+
+/// Snapshot of the process-wide STM statistics around a run.
+class StatsCapture {
+public:
+  StatsCapture() { stm::Stm::resetGlobalStats(); }
+
+  stm::TxStats finish() {
+    stm::TxManager::current().flushStats();
+    wstm::WTxManager::current().flushStats();
+    return stm::Stm::globalStats();
+  }
+};
+
+inline void printHeaderRule() {
+  std::printf("--------------------------------------------------------------"
+              "----------------\n");
+}
+
+} // namespace bench
+} // namespace otm
+
+#endif // OTM_BENCH_BENCHUTIL_H

@@ -1,0 +1,443 @@
+//===- bench/TmirPrograms.h - TMIR benchmark programs ----------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TMIR benchmark programs used by the static (E4) and dynamic (E5/E6)
+/// compiler experiments. Each exercises a different optimization:
+///
+///   - list-sum     — read-only traversal; open-elim merges per-field opens;
+///   - bst-insert   — search-then-insert; read-to-update upgrade target;
+///   - bank         — cross-function transaction; tx cloning + upgrade;
+///   - sieve        — array kernel in one big transaction; open-licm hoists
+///                    the array open out of both loops;
+///   - churn        — builds objects inside transactions; alloc elision;
+///   - dotprod      — two-array kernel; LICM hoists both array opens.
+///
+/// Every entry function takes a single i64 size parameter, builds its own
+/// data (outside atomic regions), runs the transactional kernel, and
+/// returns a checksum so naive/optimized runs can be compared for
+/// equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_BENCH_TMIRPROGRAMS_H
+#define OTM_BENCH_TMIRPROGRAMS_H
+
+namespace otm {
+namespace bench {
+
+struct TmirProgram {
+  const char *Name;
+  const char *Source;
+  const char *Entry;
+  long long Arg;
+  long long Expected; ///< checksum for the default Arg
+};
+
+inline const TmirProgram *tmirPrograms(unsigned &Count) {
+  static const TmirProgram Programs[] = {
+      {"list-sum", R"(
+class Node { val: i64, next: Node }
+
+func build(n: i64): Node {
+  var i: i64
+  var head: Node
+entry:
+  storelocal i, 0
+  storelocal head, null
+  br loop
+loop:
+  %i = loadlocal i
+  %n = loadlocal n
+  %done = cmpge %i, %n
+  condbr %done, exit, body
+body:
+  %fresh = newobj Node
+  setfield %fresh, Node.val, %i
+  %h = loadlocal head
+  setfield %fresh, Node.next, %h
+  storelocal head, %fresh
+  %i2 = add %i, 1
+  storelocal i, %i2
+  br loop
+exit:
+  %r = loadlocal head
+  ret %r
+}
+
+func main(n: i64): i64 {
+  var cur: Node
+  var acc: i64
+entry:
+  %n = loadlocal n
+  %h = call build(%n)
+  storelocal cur, %h
+  storelocal acc, 0
+  atomic_begin
+  br loop
+loop:
+  %c = loadlocal cur
+  %z = cmpeq %c, null
+  condbr %z, exit, body
+body:
+  %v = getfield %c, Node.val
+  %a = loadlocal acc
+  %a2 = add %a, %v
+  storelocal acc, %a2
+  %nx = getfield %c, Node.next
+  storelocal cur, %nx
+  br loop
+exit:
+  atomic_end
+  %r = loadlocal acc
+  ret %r
+}
+)",
+       "main", 2000, 2000LL * 1999 / 2},
+
+      {"bst-insert", R"(
+class Node { key: i64, left: Node, right: Node }
+class Tree { root: Node }
+
+func insert(t: Tree, k: i64) {
+  var cur: Node
+  var parent: Node
+  var goLeft: i1
+entry:
+  atomic_begin
+  %t = loadlocal t
+  %root = getfield %t, Tree.root
+  %isEmpty = cmpeq %root, null
+  condbr %isEmpty, makeRoot, descend
+makeRoot:
+  %fresh0 = newobj Node
+  %k0 = loadlocal k
+  setfield %fresh0, Node.key, %k0
+  setfield %t, Tree.root, %fresh0
+  br done
+descend:
+  storelocal cur, %root
+  storelocal parent, null
+  br loop
+loop:
+  %c = loadlocal cur
+  %z = cmpeq %c, null
+  condbr %z, attach, step
+step:
+  %ck = getfield %c, Node.key
+  %kk = loadlocal k
+  %same = cmpeq %ck, %kk
+  condbr %same, done, pick
+pick:
+  storelocal parent, %c
+  %lt = cmplt %kk, %ck
+  storelocal goLeft, %lt
+  condbr %lt, goL, goR
+goL:
+  %l = getfield %c, Node.left
+  storelocal cur, %l
+  br loop
+goR:
+  %r = getfield %c, Node.right
+  storelocal cur, %r
+  br loop
+attach:
+  %fresh = newobj Node
+  %k2 = loadlocal k
+  setfield %fresh, Node.key, %k2
+  %p = loadlocal parent
+  %gl = loadlocal goLeft
+  condbr %gl, attachL, attachR
+attachL:
+  setfield %p, Node.left, %fresh
+  br done
+attachR:
+  setfield %p, Node.right, %fresh
+  br done
+done:
+  atomic_end
+  ret
+}
+
+func count(n: Node): i64 {
+entry:
+  %n = loadlocal n
+  %z = cmpeq %n, null
+  condbr %z, zero, rec
+zero:
+  ret 0
+rec:
+  %l = getfield %n, Node.left
+  %cl = call count(%l)
+  %r = getfield %n, Node.right
+  %cr = call count(%r)
+  %s = add %cl, %cr
+  %s2 = add %s, 1
+  ret %s2
+}
+
+func main(n: i64): i64 {
+  var i: i64
+  var key: i64
+entry:
+  %t = newobj Tree
+  storelocal i, 0
+  br loop
+loop:
+  %i = loadlocal i
+  %n = loadlocal n
+  %done = cmpge %i, %n
+  condbr %done, exit, body
+body:
+  // keys scattered by a multiplicative hash mod 8192
+  %h = mul %i, 2654435761
+  %k = rem %h, 8192
+  storelocal key, %k
+  %kk = loadlocal key
+  call insert(%t, %kk)
+  %i2 = add %i, 1
+  storelocal i, %i2
+  br loop
+exit:
+  %root = getfield %t, Tree.root
+  %c = call count(%root)
+  ret %c
+}
+)",
+       "main", 1500, 1500},
+
+      {"bank", R"(
+class Account { balance: i64 }
+
+func transfer(src: Account, dst: Account, amount: i64) {
+entry:
+  atomic_begin
+  %s = loadlocal src
+  %sb = getfield %s, Account.balance
+  %a = loadlocal amount
+  %sb2 = sub %sb, %a
+  setfield %s, Account.balance, %sb2
+  %d = loadlocal dst
+  %db = getfield %d, Account.balance
+  %db2 = add %db, %a
+  setfield %d, Account.balance, %db2
+  atomic_end
+  ret
+}
+
+func main(n: i64): i64 {
+  var i: i64
+entry:
+  %a = newobj Account
+  setfield %a, Account.balance, 100000
+  %b = newobj Account
+  storelocal i, 0
+  br loop
+loop:
+  %i = loadlocal i
+  %n = loadlocal n
+  %done = cmpge %i, %n
+  condbr %done, exit, body
+body:
+  %odd = rem %i, 2
+  %fwd = cmpeq %odd, 0
+  condbr %fwd, f, g
+f:
+  call transfer(%a, %b, 3)
+  br next
+g:
+  call transfer(%b, %a, 1)
+  br next
+next:
+  %i2 = add %i, 1
+  storelocal i, %i2
+  br loop
+exit:
+  %bb = getfield %b, Account.balance
+  ret %bb
+}
+)",
+       "main", 4000, 4000},
+
+      {"sieve", R"(
+func main(n: i64): i64 {
+  var i: i64
+  var j: i64
+  var count: i64
+entry:
+  %n = loadlocal n
+  %flags = newarr %n
+  atomic_begin
+  storelocal i, 2
+  br outer
+outer:
+  %i = loadlocal i
+  %nn = loadlocal n
+  %done = cmpge %i, %nn
+  condbr %done, tally, check
+check:
+  %isSet = arrget %flags, %i
+  %composite = cmpne %isSet, 0
+  condbr %composite, advance, mark
+mark:
+  %ii = mul %i, %i
+  storelocal j, %ii
+  br inner
+inner:
+  %j = loadlocal j
+  %n2 = loadlocal n
+  %jdone = cmpge %j, %n2
+  condbr %jdone, advance, set
+set:
+  arrset %flags, %j, 1
+  %i3 = loadlocal i
+  %j2 = add %j, %i3
+  storelocal j, %j2
+  br inner
+advance:
+  %i2 = add %i, 1
+  storelocal i, %i2
+  br outer
+tally:
+  storelocal i, 2
+  storelocal count, 0
+  br tloop
+tloop:
+  %ti = loadlocal i
+  %tn = loadlocal n
+  %tdone = cmpge %ti, %tn
+  condbr %tdone, exit, tbody
+tbody:
+  %f = arrget %flags, %ti
+  %prime = cmpeq %f, 0
+  condbr %prime, bump, tnext
+bump:
+  %c = loadlocal count
+  %c2 = add %c, 1
+  storelocal count, %c2
+  br tnext
+tnext:
+  %ti2 = add %ti, 1
+  storelocal i, %ti2
+  br tloop
+exit:
+  atomic_end
+  %r = loadlocal count
+  ret %r
+}
+)",
+       "main", 5000, 669},
+
+      {"churn", R"(
+class Box { a: i64, b: i64, c: i64, d: i64 }
+
+func main(n: i64): i64 {
+  var i: i64
+  var acc: i64
+entry:
+  storelocal i, 0
+  storelocal acc, 0
+  br loop
+loop:
+  %i = loadlocal i
+  %n = loadlocal n
+  %done = cmpge %i, %n
+  condbr %done, exit, body
+body:
+  atomic_begin
+  %box = newobj Box
+  setfield %box, Box.a, %i
+  %t = mul %i, 2
+  setfield %box, Box.b, %t
+  %u = add %i, 7
+  setfield %box, Box.c, %u
+  %va = getfield %box, Box.a
+  %vb = getfield %box, Box.b
+  %vc = getfield %box, Box.c
+  %s = add %va, %vb
+  %s2 = add %s, %vc
+  setfield %box, Box.d, %s2
+  %vd = getfield %box, Box.d
+  atomic_end
+  %a = loadlocal acc
+  %a2 = add %a, %vd
+  storelocal acc, %a2
+  %i2 = add %i, 1
+  storelocal i, %i2
+  br loop
+exit:
+  %r = loadlocal acc
+  ret %r
+}
+)",
+       "main", 3000, 18015000},
+
+      {"dotprod", R"(
+func fill(n: i64, scale: i64): arr {
+  var i: i64
+entry:
+  %n = loadlocal n
+  %a = newarr %n
+  storelocal i, 0
+  br loop
+loop:
+  %i = loadlocal i
+  %nn = loadlocal n
+  %done = cmpge %i, %nn
+  condbr %done, exit, body
+body:
+  %s = loadlocal scale
+  %v = mul %i, %s
+  arrset %a, %i, %v
+  %i2 = add %i, 1
+  storelocal i, %i2
+  br loop
+exit:
+  ret %a
+}
+
+func main(n: i64): i64 {
+  var i: i64
+  var acc: i64
+entry:
+  %n = loadlocal n
+  %a = call fill(%n, 1)
+  %b = call fill(%n, 2)
+  atomic_begin
+  storelocal i, 0
+  storelocal acc, 0
+  br loop
+loop:
+  %i = loadlocal i
+  %nn = loadlocal n
+  %done = cmpge %i, %nn
+  condbr %done, exit, body
+body:
+  %va = arrget %a, %i
+  %vb = arrget %b, %i
+  %p = mul %va, %vb
+  %acc = loadlocal acc
+  %acc2 = add %acc, %p
+  storelocal acc, %acc2
+  %i2 = add %i, 1
+  storelocal i, %i2
+  br loop
+exit:
+  atomic_end
+  %r = loadlocal acc
+  ret %r
+}
+)",
+       "main", 300, 17910100},
+  };
+  Count = sizeof(Programs) / sizeof(Programs[0]);
+  return Programs;
+}
+
+} // namespace bench
+} // namespace otm
+
+#endif // OTM_BENCH_TMIRPROGRAMS_H

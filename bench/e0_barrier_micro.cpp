@@ -1,0 +1,130 @@
+//===- bench/e0_barrier_micro.cpp - barrier cost microbenchmarks ----------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Google-benchmark microbenchmarks of the individual STM primitives that
+// every figure above is built from: the open barriers, undo logging, the
+// runtime hash filter, commit costs for read-only vs writer transactions,
+// and the word-STM read barrier for comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/HashFilter.h"
+#include "stm/Stm.h"
+#include "wstm/WordStm.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace otm;
+using namespace otm::stm;
+using namespace otm::wstm;
+
+namespace {
+
+struct Cell : TxObject {
+  Field<int64_t> Value;
+};
+
+void BM_ReadOnlyTx(benchmark::State &State) {
+  Cell C;
+  for (auto _ : State) {
+    int64_t V = 0;
+    Stm::atomic([&](TxManager &Tx) { V = Tx.read(&C, &Cell::Value); });
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_ReadOnlyTx);
+
+void BM_WriterTx(benchmark::State &State) {
+  Cell C;
+  for (auto _ : State)
+    Stm::atomic([&](TxManager &Tx) {
+      Tx.write(&C, &Cell::Value, int64_t{1});
+    });
+}
+BENCHMARK(BM_WriterTx);
+
+void BM_OpenForRead(benchmark::State &State) {
+  // Cost of the read barrier inside an already-running transaction,
+  // including the filter hit for repeats.
+  std::vector<std::unique_ptr<Cell>> Cells;
+  for (int I = 0; I < 64; ++I)
+    Cells.push_back(std::make_unique<Cell>());
+  for (auto _ : State) {
+    Stm::atomic([&](TxManager &Tx) {
+      for (auto &C : Cells)
+        Tx.openForRead(C.get());
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_OpenForRead);
+
+void BM_OpenForUpdate(benchmark::State &State) {
+  std::vector<std::unique_ptr<Cell>> Cells;
+  for (int I = 0; I < 64; ++I)
+    Cells.push_back(std::make_unique<Cell>());
+  for (auto _ : State) {
+    Stm::atomic([&](TxManager &Tx) {
+      for (auto &C : Cells)
+        Tx.openForUpdate(C.get());
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_OpenForUpdate);
+
+void BM_LogUndoFiltered(benchmark::State &State) {
+  Cell C;
+  for (auto _ : State) {
+    Stm::atomic([&](TxManager &Tx) {
+      Tx.openForUpdate(&C);
+      for (int I = 0; I < 64; ++I) {
+        Tx.logUndo(&C.Value);
+        C.Value.store(I);
+      }
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_LogUndoFiltered);
+
+void BM_WordStmRead(benchmark::State &State) {
+  WCell<int64_t> Cells[64];
+  for (auto _ : State) {
+    WordStm::atomic([&](WTxManager &Tx) {
+      int64_t Sum = 0;
+      for (WCell<int64_t> &C : Cells)
+        Sum += Tx.read(C);
+      benchmark::DoNotOptimize(Sum);
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_WordStmRead);
+
+void BM_HashFilterInsert(benchmark::State &State) {
+  HashFilter Filter;
+  uintptr_t Key = 0x1000;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Filter.insert(Key));
+    Key += 64;
+    if ((Key & 0xffff) == 0)
+      Filter.clear();
+  }
+}
+BENCHMARK(BM_HashFilterInsert);
+
+void BM_UncontendedRawLoad(benchmark::State &State) {
+  // The floor every barrier is compared against.
+  Cell C;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(C.Value.load());
+}
+BENCHMARK(BM_UncontendedRawLoad);
+
+} // namespace
+
+BENCHMARK_MAIN();

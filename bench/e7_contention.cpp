@@ -1,0 +1,110 @@
+//===- bench/e7_contention.cpp - E7: abort behaviour under contention -----===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// E7 (paper analogue: behaviour of the optimistic/eager STM as conflicts
+// rise). Four threads run read-modify-write transactions over a pool of
+// objects while two knobs sweep:
+//
+//   - write ratio: fraction of transactions that open for update;
+//   - hot-set size: objects drawn from 4 (pathological) to 4096 (disjoint).
+//
+// On a single-core host transactions almost never overlap naturally (a
+// microsecond transaction inside a millisecond quantum), so one in ten
+// transactions yields mid-flight while holding its opens — emulating the
+// overlap a multiprocessor exhibits continuously. Reported: commits,
+// aborts split by cause (ownership conflict at open vs validation failure
+// at commit), and abort rate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "stm/Stm.h"
+#include "support/Random.h"
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace otm;
+using namespace otm::bench;
+using namespace otm::stm;
+
+namespace {
+
+constexpr unsigned NumThreads = 4;
+constexpr int TxPerThread = 1500;
+
+struct Item : TxObject {
+  Field<int64_t> Value;
+};
+
+void runCell(unsigned WritePercent, unsigned HotSet) {
+  std::vector<std::unique_ptr<Item>> Pool;
+  for (unsigned I = 0; I < HotSet; ++I)
+    Pool.push_back(std::make_unique<Item>());
+
+  StatsCapture Capture;
+  double Seconds = runThreads(NumThreads, [&](unsigned T) {
+    Xoshiro256 Rng(8100 + T);
+    for (int I = 0; I < TxPerThread; ++I) {
+      Item *A = Pool[Rng.nextBelow(HotSet)].get();
+      Item *B = Pool[Rng.nextBelow(HotSet)].get();
+      bool Writer = Rng.nextPercent(WritePercent);
+      Stm::atomic([&](TxManager &Tx) {
+        if (Writer) {
+          Tx.openForUpdate(A);
+        } else {
+          Tx.openForRead(A);
+        }
+        Tx.openForRead(B);
+        // Emulate transaction overlap: occasionally yield while holding
+        // the opens (every transaction yielding would serialize the whole
+        // run on a single-core host).
+        if (Rng.nextPercent(10))
+          std::this_thread::yield();
+        int64_t V = A->Value.load() + B->Value.load();
+        if (Writer) {
+          Tx.logUndo(&A->Value);
+          A->Value.store(V + 1);
+        }
+      });
+    }
+  });
+  stm::TxStats S = Capture.finish();
+  double Ktps = NumThreads * static_cast<double>(TxPerThread) / Seconds / 1e3;
+  double AbortPct = S.Starts ? 100.0 * static_cast<double>(S.Aborts) /
+                                   static_cast<double>(S.Starts)
+                             : 0.0;
+  std::printf("%7u%% %8u %10.1f %10llu %9llu %10llu %11llu %8.2f%%\n",
+              WritePercent, HotSet, Ktps,
+              static_cast<unsigned long long>(S.Commits),
+              static_cast<unsigned long long>(S.Aborts),
+              static_cast<unsigned long long>(S.AbortsOnConflict),
+              static_cast<unsigned long long>(S.AbortsOnValidation),
+              AbortPct);
+}
+
+} // namespace
+
+int main() {
+  std::printf("E7: aborts vs write ratio and hot-set size (%u threads, "
+              "read-modify-write transactions)\n", NumThreads);
+  printHeaderRule();
+  std::printf("%8s %8s %10s %10s %9s %10s %11s %9s\n", "writes", "objs",
+              "Ktx/s", "commits", "aborts", "conflict", "validation",
+              "abort%");
+  printHeaderRule();
+  for (unsigned WritePercent : {0u, 10u, 50u, 100u})
+    for (unsigned HotSet : {4u, 64u, 4096u})
+      runCell(WritePercent, HotSet);
+  printHeaderRule();
+  std::printf("expected shape: abort rate rises with write ratio and falls "
+              "with pool size; eager ownership makes open-time conflicts "
+              "the dominant cause, with commit-time validation failures "
+              "from racing readers\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- examples/directory.cpp - Shared directory on a tx hash map ---------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// A session directory service: worker threads register, look up and expire
+// sessions in a shared map. The same structural code runs under four
+// synchronization policies (coarse lock, word STM, naive object STM,
+// optimized object STM); the example prints the throughput of each, a
+// small-scale preview of experiment E3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "containers/HashMap.h"
+#include "stm/Stm.h"
+#include "support/Random.h"
+#include "support/ThreadBarrier.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace otm;
+using namespace otm::containers;
+
+namespace {
+
+constexpr int NumThreads = 4;
+constexpr int OpsPerThread = 40000;
+constexpr int KeySpace = 4096;
+
+template <typename Policy> double runWorkload() {
+  HashMap<Policy> Directory(1024);
+  for (int64_t K = 0; K < KeySpace / 2; ++K)
+    Directory.insert(K, K * 7);
+
+  ThreadBarrier StartLine(NumThreads);
+  auto Begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(31337 + T);
+      StartLine.arriveAndWait();
+      for (int I = 0; I < OpsPerThread; ++I) {
+        int64_t Key = static_cast<int64_t>(Rng.nextBelow(KeySpace));
+        uint64_t Dice = Rng.nextBelow(100);
+        if (Dice < 80) {
+          int64_t V;
+          Directory.lookup(Key, V); // session lookup
+        } else if (Dice < 90) {
+          Directory.insert(Key, Key * 7); // register
+        } else {
+          Directory.erase(Key); // expire
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  auto End = std::chrono::steady_clock::now();
+  double Seconds = std::chrono::duration<double>(End - Begin).count();
+  return (static_cast<double>(NumThreads) * OpsPerThread) / Seconds / 1e6;
+}
+
+} // namespace
+
+int main() {
+  std::printf("session directory, %d threads x %d ops, 80/10/10 "
+              "lookup/insert/erase:\n",
+              NumThreads, OpsPerThread);
+  std::printf("  %-14s %8.2f Mops/s\n", "coarse-lock",
+              runWorkload<CoarseLockPolicy>());
+  std::printf("  %-14s %8.2f Mops/s\n", "word-stm",
+              runWorkload<WordStmPolicy>());
+  std::printf("  %-14s %8.2f Mops/s\n", "obj-stm-naive",
+              runWorkload<ObjStmNaivePolicy>());
+  std::printf("  %-14s %8.2f Mops/s\n", "obj-stm-opt",
+              runWorkload<ObjStmOptPolicy>());
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- examples/quickstart.cpp - First steps with the otm STM -------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: declare a transactional object, run atomic blocks against it
+// from several threads, and inspect the runtime statistics. Build & run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+#include "stm/TxGlobal.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace otm::stm;
+
+namespace {
+
+// A transactional object: inherit TxObject (one word of STM metadata) and
+// declare fields as Field<T>.
+struct Point : TxObject {
+  Field<int64_t> X;
+  Field<int64_t> Y;
+};
+
+// Globals get surrogate objects.
+TxGlobal<int64_t> TotalMoves(0);
+
+} // namespace
+
+int main() {
+  Point P;
+
+  // The one-liner API: combined barriers, one open per access.
+  Stm::atomic([&](TxManager &Tx) {
+    Tx.write(&P, &Point::X, int64_t{3});
+    Tx.write(&P, &Point::Y, int64_t{4});
+  });
+
+  // The decomposed API the compiler targets: open the object once, then
+  // access fields directly — this is what the paper's optimizations
+  // produce, and it is the fast path.
+  Stm::atomic([&](TxManager &Tx) {
+    Tx.openForUpdate(&P);
+    Tx.logUndo(&P.X);
+    P.X.store(P.X.load() + 10);
+    Tx.logUndo(&P.Y);
+    P.Y.store(P.Y.load() + 10);
+    TotalMoves.set(Tx, TotalMoves.get(Tx) + 1);
+  });
+
+  // Transactions compose: a failure anywhere rolls everything back.
+  std::printf("after two transactions: X=%lld Y=%lld moves=%lld\n",
+              static_cast<long long>(P.X.load()),
+              static_cast<long long>(P.Y.load()),
+              static_cast<long long>(TotalMoves.unsafeGet()));
+
+  // Concurrency: four threads, each moving the point 10000 times.
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 10000; ++I)
+        Stm::atomic([&](TxManager &Tx) {
+          Tx.openForUpdate(&P);
+          Tx.logUndo(&P.X);
+          P.X.store(P.X.load() + 1);
+          TotalMoves.set(Tx, TotalMoves.get(Tx) + 1);
+        });
+      TxManager::current().flushStats();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  TxStats S = Stm::globalStats();
+  std::printf("after 4x10000 concurrent moves: X=%lld moves=%lld\n",
+              static_cast<long long>(P.X.load()),
+              static_cast<long long>(TotalMoves.unsafeGet()));
+  std::printf("stats: %llu commits, %llu aborts (%llu conflict, %llu "
+              "validation), %llu update-opens\n",
+              static_cast<unsigned long long>(S.Commits),
+              static_cast<unsigned long long>(S.Aborts),
+              static_cast<unsigned long long>(S.AbortsOnConflict),
+              static_cast<unsigned long long>(S.AbortsOnValidation),
+              static_cast<unsigned long long>(S.OpensForUpdate));
+  return 0;
+}

@@ -1,0 +1,211 @@
+//===- containers/SkipList.h - Transactional skip list ---------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A skip list (int64 key → value map) templated over a synchronization
+/// policy. Node heights are derived deterministically from a hash of the
+/// key, so runs are reproducible and every policy builds the identical
+/// structure — only the barriers differ.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_CONTAINERS_SKIPLIST_H
+#define OTM_CONTAINERS_SKIPLIST_H
+
+#include "containers/Policy.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace otm {
+namespace containers {
+
+template <typename Policy> class SkipList {
+  using Ctx = typename Policy::Ctx;
+  template <typename T> using Cell = typename Policy::template Cell<T>;
+
+  static constexpr unsigned MaxLevel = 16;
+
+  struct Node : Policy::ObjBase {
+    Cell<int64_t> Key;
+    Cell<int64_t> Value;
+    Cell<int64_t> Height;
+    Cell<Node *> Next[MaxLevel];
+  };
+
+public:
+  SkipList() { Head.Height.store(MaxLevel); }
+  SkipList(const SkipList &) = delete;
+  SkipList &operator=(const SkipList &) = delete;
+
+  ~SkipList() {
+    Node *N = Head.Next[0].load();
+    while (N) {
+      Node *Next = N->Next[0].load();
+      delete N;
+      N = Next;
+    }
+  }
+
+  /// Inserts \p Key (or updates its value); returns true if newly added.
+  bool insert(int64_t Key, int64_t Value) {
+    bool Inserted = false;
+    Policy::run([&](Ctx &C) {
+      Node *Preds[MaxLevel];
+      Node *Found = locate(C, Key, Preds);
+      if (Found) {
+        Policy::openWrite(C, Found);
+        Policy::store(C, Found, Found->Value, Value);
+        Inserted = false;
+        return;
+      }
+      unsigned Height = heightFor(Key);
+      Node *Fresh = Policy::template create<Node>(C);
+      Policy::initStore(C, Fresh, Fresh->Key, Key);
+      Policy::initStore(C, Fresh, Fresh->Value, Value);
+      Policy::initStore(C, Fresh, Fresh->Height,
+                        static_cast<int64_t>(Height));
+      for (unsigned L = 0; L < Height; ++L) {
+        Node *After = Policy::load(C, Preds[L], Preds[L]->Next[L]);
+        Policy::initStore(C, Fresh, Fresh->Next[L], After);
+      }
+      // Link bottom-up; predecessors were opened for read by locate.
+      for (unsigned L = 0; L < Height; ++L) {
+        Policy::openWrite(C, Preds[L]);
+        Policy::store(C, Preds[L], Preds[L]->Next[L], Fresh);
+      }
+      Inserted = true;
+    });
+    return Inserted;
+  }
+
+  /// Removes \p Key; returns true if it was present.
+  bool erase(int64_t Key) {
+    bool Erased = false;
+    Policy::run([&](Ctx &C) {
+      Node *Preds[MaxLevel];
+      Node *Found = locate(C, Key, Preds);
+      if (!Found) {
+        Erased = false;
+        return;
+      }
+      Policy::openRead(C, Found);
+      unsigned Height =
+          static_cast<unsigned>(Policy::load(C, Found, Found->Height));
+      for (unsigned L = 0; L < Height; ++L) {
+        Node *After = Policy::load(C, Found, Found->Next[L]);
+        Policy::openWrite(C, Preds[L]);
+        Policy::store(C, Preds[L], Preds[L]->Next[L], After);
+      }
+      Policy::destroy(C, Found);
+      Erased = true;
+    });
+    return Erased;
+  }
+
+  /// Looks up \p Key; returns true and fills \p Value if present.
+  bool lookup(int64_t Key, int64_t &Value) {
+    bool Found = false;
+    Policy::run([&](Ctx &C) {
+      Node *Preds[MaxLevel];
+      Node *N = locate(C, Key, Preds);
+      if (N) {
+        Value = Policy::load(C, N, N->Value);
+        Found = true;
+      } else {
+        Found = false;
+      }
+    });
+    return Found;
+  }
+
+  bool contains(int64_t Key) {
+    int64_t Ignored;
+    return lookup(Key, Ignored);
+  }
+
+  /// Quiescent size (verification only).
+  std::size_t sizeSlow() const {
+    std::size_t Count = 0;
+    for (Node *N = Head.Next[0].load(); N; N = N->Next[0].load())
+      ++Count;
+    return Count;
+  }
+
+  /// Quiescent structure check: every level sorted and a sublist of the
+  /// level below.
+  bool checkInvariantsSlow() const {
+    for (unsigned L = 0; L < MaxLevel; ++L) {
+      int64_t Last = INT64_MIN;
+      for (Node *N = Head.Next[L].load(); N; N = N->Next[L].load()) {
+        int64_t K = N->Key.load();
+        if (K <= Last)
+          return false;
+        if (static_cast<unsigned>(N->Height.load()) <= L)
+          return false;
+        if (L > 0 && !containsAtLevel(N->Key.load(), L - 1))
+          return false;
+        Last = K;
+      }
+    }
+    return true;
+  }
+
+private:
+  /// Deterministic height: trailing zeros of a key hash, 1..MaxLevel.
+  static unsigned heightFor(int64_t Key) {
+    uint64_t H = static_cast<uint64_t>(Key) * 0x9e3779b97f4a7c15ULL;
+    H ^= H >> 29;
+    unsigned Level = 1;
+    while ((H & 1) && Level < MaxLevel) {
+      ++Level;
+      H >>= 1;
+    }
+    return Level;
+  }
+
+  /// Walks towards \p Key, filling Preds[l] with the rightmost node whose
+  /// key is smaller at each level. Returns the node with \p Key or null.
+  Node *locate(Ctx &C, int64_t Key, Node *Preds[MaxLevel]) {
+    Node *Cur = &Head;
+    Policy::openRead(C, Cur);
+    unsigned Steps = 0;
+    for (int L = MaxLevel - 1; L >= 0; --L) {
+      for (;;) {
+        Node *Next = Policy::load(C, Cur, Cur->Next[L]);
+        if (!Next)
+          break;
+        Policy::openRead(C, Next);
+        if (Policy::load(C, Next, Next->Key) >= Key)
+          break;
+        Cur = Next;
+        if ((++Steps & 63) == 0)
+          Policy::checkpoint(C);
+      }
+      Preds[L] = Cur;
+    }
+    Node *Candidate = Policy::load(C, Cur, Cur->Next[0]);
+    if (!Candidate)
+      return nullptr;
+    Policy::openRead(C, Candidate);
+    return Policy::load(C, Candidate, Candidate->Key) == Key ? Candidate
+                                                             : nullptr;
+  }
+
+  bool containsAtLevel(int64_t Key, unsigned Level) const {
+    for (Node *N = Head.Next[Level].load(); N; N = N->Next[Level].load())
+      if (N->Key.load() == Key)
+        return true;
+    return false;
+  }
+
+  Node Head; // sentinel: Key unused, full height
+};
+
+} // namespace containers
+} // namespace otm
+
+#endif // OTM_CONTAINERS_SKIPLIST_H

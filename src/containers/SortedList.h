@@ -1,0 +1,188 @@
+//===- containers/SortedList.h - Transactional sorted list -----*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sorted singly linked list (set/map of int64 keys) templated over a
+/// synchronization policy. The traversal is the canonical workload where
+/// barrier placement matters: naive lowering opens every node once per
+/// field access (key, next), optimized lowering opens each node exactly
+/// once — the difference E1 measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_CONTAINERS_SORTEDLIST_H
+#define OTM_CONTAINERS_SORTEDLIST_H
+
+#include "containers/Policy.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace otm {
+namespace containers {
+
+template <typename Policy> class SortedList {
+  using Ctx = typename Policy::Ctx;
+  template <typename T> using Cell = typename Policy::template Cell<T>;
+
+  struct Node : Policy::ObjBase {
+    Cell<int64_t> Key;
+    Cell<int64_t> Value;
+    Cell<Node *> Next;
+  };
+
+public:
+  SortedList() = default;
+  SortedList(const SortedList &) = delete;
+  SortedList &operator=(const SortedList &) = delete;
+
+  ~SortedList() {
+    Node *N = Head.Next.load();
+    while (N) {
+      Node *Next = N->Next.load();
+      delete N;
+      N = Next;
+    }
+  }
+
+  /// Inserts \p Key (or updates its value); returns true if newly inserted.
+  bool insert(int64_t Key, int64_t Value) {
+    bool Inserted = false;
+    Policy::run([&](Ctx &C) {
+      auto [Prev, Cur, CurKey] = locate(C, Key);
+      if (Cur && CurKey == Key) {
+        Policy::openWrite(C, Cur);
+        Policy::store(C, Cur, Cur->Value, Value);
+        Inserted = false;
+        return;
+      }
+      Node *Fresh = Policy::template create<Node>(C);
+      Policy::initStore(C, Fresh, Fresh->Key, Key);
+      Policy::initStore(C, Fresh, Fresh->Value, Value);
+      Policy::initStore(C, Fresh, Fresh->Next, Cur);
+      Policy::openWrite(C, Prev);
+      Policy::store(C, Prev, Prev->Next, Fresh);
+      Inserted = true;
+    });
+    return Inserted;
+  }
+
+  /// Removes \p Key; returns true if it was present.
+  bool erase(int64_t Key) {
+    bool Erased = false;
+    Policy::run([&](Ctx &C) {
+      auto [Prev, Cur, CurKey] = locate(C, Key);
+      if (!Cur || CurKey != Key) {
+        Erased = false;
+        return;
+      }
+      Node *After = Policy::load(C, Cur, Cur->Next);
+      Policy::openWrite(C, Prev);
+      Policy::store(C, Prev, Prev->Next, After);
+      Policy::destroy(C, Cur);
+      Erased = true;
+    });
+    return Erased;
+  }
+
+  /// Looks up \p Key; returns true and fills \p Value if present.
+  bool lookup(int64_t Key, int64_t &Value) {
+    bool Found = false;
+    Policy::run([&](Ctx &C) {
+      auto [Prev, Cur, CurKey] = locate(C, Key);
+      (void)Prev;
+      if (Cur && CurKey == Key) {
+        Value = Policy::load(C, Cur, Cur->Value);
+        Found = true;
+      } else {
+        Found = false;
+      }
+    });
+    return Found;
+  }
+
+  bool contains(int64_t Key) {
+    int64_t Ignored;
+    return lookup(Key, Ignored);
+  }
+
+  /// Transactionally sums all values (a long read-only transaction).
+  int64_t sumValues() {
+    int64_t Sum = 0;
+    Policy::run([&](Ctx &C) {
+      Sum = 0;
+      unsigned Steps = 0;
+      Node *Prev = &Head;
+      Policy::openRead(C, Prev);
+      Node *Cur = Policy::load(C, Prev, Prev->Next);
+      while (Cur) {
+        Policy::openRead(C, Cur);
+        Sum += Policy::load(C, Cur, Cur->Value);
+        Cur = Policy::load(C, Cur, Cur->Next);
+        if ((++Steps & 63) == 0)
+          Policy::checkpoint(C);
+      }
+    });
+    return Sum;
+  }
+
+  /// Quiescent size (no synchronization; verification only).
+  std::size_t sizeSlow() const {
+    std::size_t Count = 0;
+    for (Node *N = Head.Next.load(); N; N = N->Next.load())
+      ++Count;
+    return Count;
+  }
+
+  /// Quiescent sortedness check (verification only).
+  bool isSortedSlow() const {
+    Node *N = Head.Next.load();
+    if (!N)
+      return true;
+    int64_t Last = N->Key.load();
+    for (N = N->Next.load(); N; N = N->Next.load()) {
+      int64_t K = N->Key.load();
+      if (K <= Last)
+        return false;
+      Last = K;
+    }
+    return true;
+  }
+
+private:
+  struct Locate {
+    Node *Prev;
+    Node *Cur;
+    int64_t CurKey;
+  };
+
+  /// Walks to the first node with key >= \p Key. Opens every visited node
+  /// for read (optimized placement: exactly one open per node).
+  Locate locate(Ctx &C, int64_t Key) {
+    Node *Prev = &Head;
+    Policy::openRead(C, Prev);
+    Node *Cur = Policy::load(C, Prev, Prev->Next);
+    unsigned Steps = 0;
+    while (Cur) {
+      Policy::openRead(C, Cur);
+      int64_t CurKey = Policy::load(C, Cur, Cur->Key);
+      if (CurKey >= Key)
+        return {Prev, Cur, CurKey};
+      Prev = Cur;
+      Cur = Policy::load(C, Cur, Cur->Next);
+      if ((++Steps & 63) == 0)
+        Policy::checkpoint(C);
+    }
+    return {Prev, nullptr, 0};
+  }
+
+  Node Head; // sentinel; Key unused
+};
+
+} // namespace containers
+} // namespace otm
+
+#endif // OTM_CONTAINERS_SORTEDLIST_H

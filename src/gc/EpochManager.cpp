@@ -1,0 +1,155 @@
+//===- gc/EpochManager.cpp - Epoch-based memory reclamation --------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/EpochManager.h"
+
+#include <cassert>
+
+using namespace otm;
+using namespace otm::gc;
+
+EpochManager &EpochManager::global() {
+  // Leaked singleton: avoids a static destructor racing with thread-local
+  // ThreadState destructors during process shutdown.
+  static EpochManager *EM = new EpochManager();
+  return *EM;
+}
+
+EpochManager::ThreadState::~ThreadState() {
+  if (!Owner)
+    return;
+  // Move any not-yet-freed retirements to the orphan bin so a short-lived
+  // thread never leaks, and release the slot for reuse.
+  if (!Bin.empty()) {
+    std::lock_guard<std::mutex> Lock(Owner->OrphanMutex);
+    for (const Retired &R : Bin)
+      Owner->OrphanBin.push_back(R);
+    Bin.clear();
+  }
+  if (S) {
+    S->LocalEpoch.store(Unpinned, std::memory_order_release);
+    S->InUse.store(false, std::memory_order_release);
+  }
+}
+
+EpochManager::ThreadState &EpochManager::state() {
+  static thread_local ThreadState TS;
+  if (!TS.Owner) {
+    TS.Owner = this;
+    TS.S = acquireSlot();
+  }
+  return TS;
+}
+
+EpochManager::Slot *EpochManager::acquireSlot() {
+  std::lock_guard<std::mutex> Lock(SlotsMutex);
+  for (Slot *S : Slots) {
+    bool Expected = false;
+    if (S->InUse.compare_exchange_strong(Expected, true,
+                                         std::memory_order_acq_rel))
+      return S;
+  }
+  Slot *S = new Slot();
+  S->InUse.store(true, std::memory_order_release);
+  Slots.push_back(S);
+  return S;
+}
+
+void EpochManager::pin() {
+  ThreadState &TS = state();
+  if (TS.PinDepth++ != 0)
+    return;
+  // Publish the epoch we entered under. The seq_cst store orders the
+  // publication against subsequent shared-memory loads.
+  uint64_t E = GlobalEpoch.load(std::memory_order_seq_cst);
+  TS.S->LocalEpoch.store(E, std::memory_order_seq_cst);
+}
+
+void EpochManager::unpin() {
+  ThreadState &TS = state();
+  assert(TS.PinDepth > 0 && "unpin without matching pin");
+  if (--TS.PinDepth == 0)
+    TS.S->LocalEpoch.store(Unpinned, std::memory_order_release);
+}
+
+bool EpochManager::isPinned() const {
+  EpochManager *Self = const_cast<EpochManager *>(this);
+  return Self->state().PinDepth > 0;
+}
+
+void EpochManager::retire(void *Ptr, Deleter D) {
+  ThreadState &TS = state();
+  uint64_t E = GlobalEpoch.load(std::memory_order_acquire);
+  TS.Bin.push_back({Ptr, D, E});
+  if (TS.Bin.size() >= CollectThreshold)
+    collect();
+}
+
+uint64_t EpochManager::minActiveEpoch() {
+  uint64_t Min = GlobalEpoch.load(std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> Lock(SlotsMutex);
+  for (Slot *S : Slots) {
+    uint64_t E = S->LocalEpoch.load(std::memory_order_seq_cst);
+    if (E != Unpinned && E < Min)
+      Min = E;
+  }
+  return Min;
+}
+
+void EpochManager::freeUpTo(std::vector<Retired> &Bin, uint64_t SafeEpoch) {
+  std::size_t Kept = 0;
+  for (std::size_t I = 0; I < Bin.size(); ++I) {
+    // An object retired at epoch E may still be referenced by threads pinned
+    // at E; it is safe once the minimum active epoch exceeds E.
+    if (Bin[I].Epoch < SafeEpoch) {
+      Bin[I].D(Bin[I].Ptr);
+      Freed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      Bin[Kept++] = Bin[I];
+    }
+  }
+  Bin.resize(Kept);
+}
+
+void EpochManager::collect() {
+  // Try to advance the global epoch: allowed when every pinned thread has
+  // observed the current epoch.
+  uint64_t Current = GlobalEpoch.load(std::memory_order_seq_cst);
+  if (minActiveEpoch() == Current)
+    GlobalEpoch.compare_exchange_strong(Current, Current + 1,
+                                        std::memory_order_seq_cst);
+
+  uint64_t Safe = minActiveEpoch();
+  freeUpTo(state().Bin, Safe);
+  {
+    std::lock_guard<std::mutex> Lock(OrphanMutex);
+    freeUpTo(OrphanBin, Safe);
+  }
+}
+
+void EpochManager::drainForTesting() {
+  {
+    std::lock_guard<std::mutex> Lock(SlotsMutex);
+    for ([[maybe_unused]] Slot *S : Slots)
+      assert(S->LocalEpoch.load(std::memory_order_seq_cst) == Unpinned &&
+             "drainForTesting with a pinned thread");
+  }
+  // Two epoch advances make every retirement strictly older than the
+  // minimum active epoch.
+  collect();
+  collect();
+  ThreadState &TS = state();
+  uint64_t Max = ~static_cast<uint64_t>(0);
+  freeUpTo(TS.Bin, Max);
+  std::lock_guard<std::mutex> Lock(OrphanMutex);
+  freeUpTo(OrphanBin, Max);
+}
+
+std::size_t EpochManager::pendingForTesting() {
+  std::size_t N = state().Bin.size();
+  std::lock_guard<std::mutex> Lock(OrphanMutex);
+  return N + OrphanBin.size();
+}

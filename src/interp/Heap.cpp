@@ -1,0 +1,80 @@
+//===- interp/Heap.cpp - GC'd heap for the TMIR interpreter ----------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Heap.h"
+
+using namespace otm;
+using namespace otm::interp;
+using namespace otm::tmir;
+
+Heap::~Heap() {
+  for (HeapObject *Obj : All)
+    delete Obj;
+}
+
+HeapObject *Heap::allocObject(const ClassDecl *Class) {
+  HeapObject *Obj = new HeapObject(Class, Class->Fields.size());
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    All.push_back(Obj);
+  }
+  Allocated.fetch_add(1, std::memory_order_relaxed);
+  SinceGc.fetch_add(1, std::memory_order_relaxed);
+  return Obj;
+}
+
+HeapObject *Heap::allocArray(std::size_t Length) {
+  HeapObject *Obj = new HeapObject(nullptr, Length);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    All.push_back(Obj);
+  }
+  Allocated.fetch_add(1, std::memory_order_relaxed);
+  SinceGc.fetch_add(1, std::memory_order_relaxed);
+  return Obj;
+}
+
+std::size_t Heap::liveCount() {
+  std::lock_guard<std::mutex> Lock(M);
+  return All.size();
+}
+
+void Heap::mark(HeapObject *Obj) {
+  if (!Obj || Obj->Marked)
+    return;
+  // Iterative marking; field types tell us which slots are references.
+  std::vector<HeapObject *> Work{Obj};
+  while (!Work.empty()) {
+    HeapObject *Cur = Work.back();
+    Work.pop_back();
+    if (Cur->Marked)
+      continue;
+    Cur->Marked = true;
+    ++Stats.ObjectsScanned;
+    if (Cur->isArray())
+      continue; // arrays hold only i64
+    for (std::size_t I = 0; I < Cur->Class->Fields.size(); ++I) {
+      if (!Cur->Class->Fields[I].Ty.isRef())
+        continue;
+      if (HeapObject *Child = HeapObject::fromBits(Cur->Slots[I].load()))
+        if (!Child->Marked)
+          Work.push_back(Child);
+    }
+  }
+}
+
+void Heap::sweep() {
+  std::size_t Kept = 0;
+  for (std::size_t I = 0; I < All.size(); ++I) {
+    if (All[I]->Marked) {
+      All[Kept++] = All[I];
+      continue;
+    }
+    delete All[I];
+    ++Stats.ObjectsFreed;
+  }
+  All.resize(Kept);
+}

@@ -1,0 +1,486 @@
+//===- interp/Interp.cpp - TMIR interpreter over the STM -------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "stm/Stm.h"
+#include "support/Backoff.h"
+#include "support/Compiler.h"
+#include "tmir/Verifier.h"
+
+#include <cstdio>
+#include <mutex>
+
+using namespace otm;
+using namespace otm::interp;
+using namespace otm::tmir;
+
+namespace {
+
+/// Internal trap signal; converted to RunResult at the run() boundary.
+struct TrapError {
+  std::string Msg;
+};
+
+[[noreturn]] void trap(const std::string &Msg) { throw TrapError{Msg}; }
+
+std::recursive_mutex &globalTxMutex() {
+  static std::recursive_mutex M;
+  return M;
+}
+
+thread_local int GlobalLockDepth = 0;
+thread_local int CallDepth = 0;
+constexpr int MaxCallDepth = 2048;
+
+} // namespace
+
+struct Interpreter::Frame {
+  Function *F = nullptr;
+  std::vector<int64_t> Regs;
+  std::vector<int64_t> Locals;
+  bool OwnsTx = false;
+  bool HasSnapshot = false;
+  int SnapBlock = 0;
+  std::size_t SnapIdx = 0;
+  std::vector<int64_t> SnapRegs;
+  std::vector<int64_t> SnapLocals;
+};
+
+namespace {
+
+/// Per-thread stack of live frames (GC roots for the current thread).
+thread_local std::vector<Interpreter::Frame *> TlFrames;
+
+} // namespace
+
+namespace otm {
+namespace interp {
+
+class FrameScope {
+public:
+  explicit FrameScope(Interpreter::Frame &Fr) { TlFrames.push_back(&Fr); }
+  ~FrameScope() { TlFrames.pop_back(); }
+};
+
+} // namespace interp
+} // namespace otm
+
+Interpreter::Interpreter(Module &M, Options Opts) : M(M), Opts(Opts) {
+  verifyModuleOrDie(M); // fills RegTypes, required for GC root scanning
+}
+
+HeapObject *Interpreter::makeObject(const std::string &ClassName) {
+  int Id = M.classIndex(ClassName);
+  assert(Id >= 0 && "unknown class");
+  return TheHeap.allocObject(&M.Classes[Id]);
+}
+
+HeapObject *Interpreter::makeArray(std::size_t Length) {
+  return TheHeap.allocArray(Length);
+}
+
+void Interpreter::collectGarbage() {
+  stm::TxManager &Tx = stm::TxManager::current();
+  TheHeap.collect([&](auto Mark) {
+    for (Frame *Fr : TlFrames) {
+      Function &F = *Fr->F;
+      for (int R = 0; R < F.numRegs(); ++R)
+        if (F.RegTypes[R].isRef() && Fr->Regs[R])
+          Mark(HeapObject::fromBits(Fr->Regs[R]));
+      for (std::size_t L = 0; L < F.Locals.size(); ++L)
+        if (F.Locals[L].Ty.isRef() && Fr->Locals[L])
+          Mark(HeapObject::fromBits(Fr->Locals[L]));
+      if (Fr->HasSnapshot) {
+        for (int R = 0; R < F.numRegs(); ++R)
+          if (F.RegTypes[R].isRef() && Fr->SnapRegs[R])
+            Mark(HeapObject::fromBits(Fr->SnapRegs[R]));
+        for (std::size_t L = 0; L < F.Locals.size(); ++L)
+          if (F.Locals[L].Ty.isRef() && Fr->SnapLocals[L])
+            Mark(HeapObject::fromBits(Fr->SnapLocals[L]));
+      }
+    }
+    if (Tx.inTx()) {
+      // The paper's GC/STM integration: compact the logs while they are
+      // being treated as roots.
+      auto [ReadsDropped, UndosDropped] = Tx.compactLogsForGc();
+      TheHeap.stats().ReadEntriesDropped += ReadsDropped;
+      TheHeap.stats().UndoEntriesDropped += UndosDropped;
+      Tx.forEachEnlistedObject([&](stm::TxObject *Obj) {
+        Mark(static_cast<HeapObject *>(Obj));
+      });
+    }
+  });
+}
+
+Interpreter::RunResult Interpreter::run(const std::string &Name,
+                                        const std::vector<int64_t> &Args) {
+  RunResult Result;
+  Function *F = M.functionByName(Name);
+  if (!F) {
+    Result.Trapped = true;
+    Result.Error = "no such function: " + Name;
+    return Result;
+  }
+  if (Args.size() != F->NumParams) {
+    Result.Trapped = true;
+    Result.Error = "argument count mismatch calling " + Name;
+    return Result;
+  }
+  try {
+    Result.Value = execFunction(*F, Args);
+  } catch (const TrapError &T) {
+    Result.Trapped = true;
+    Result.Error = T.Msg;
+    // Clean up any transactional or lock state the trap interrupted.
+    stm::TxManager &Tx = stm::TxManager::current();
+    if (Tx.inTx())
+      Tx.rollbackAttempt(stm::AbortTx::Cause::User);
+    while (GlobalLockDepth > 0) {
+      globalTxMutex().unlock();
+      --GlobalLockDepth;
+    }
+  }
+  return Result;
+}
+
+int64_t Interpreter::execFunction(Function &F,
+                                  const std::vector<int64_t> &Args) {
+  if (++CallDepth > MaxCallDepth) {
+    --CallDepth;
+    trap("call depth limit exceeded in " + F.Name);
+  }
+
+  Frame Fr;
+  Fr.F = &F;
+  Fr.Regs.assign(F.numRegs(), 0);
+  Fr.Locals.assign(F.Locals.size(), 0);
+  for (std::size_t A = 0; A < Args.size(); ++A)
+    Fr.Locals[A] = Args[A];
+  FrameScope Scope(Fr);
+
+  stm::TxManager &Tx = stm::TxManager::current();
+  Backoff Retry(reinterpret_cast<uintptr_t>(&Fr) * 0x9e3779b97f4a7c15ULL);
+
+  auto Val = [&](const Value &V) -> int64_t {
+    switch (V.kind()) {
+    case Value::Kind::Reg:
+      return Fr.Regs[V.regId()];
+    case Value::Kind::Imm:
+      return V.immValue();
+    case Value::Kind::Null:
+      return 0;
+    case Value::Kind::None:
+      break;
+    }
+    trap("malformed operand");
+  };
+
+  auto RefVal = [&](const Value &V) -> HeapObject * {
+    return HeapObject::fromBits(Val(V));
+  };
+
+  auto ObjectOperand = [&](const Value &V, int ClassId) -> HeapObject * {
+    HeapObject *Obj = RefVal(V);
+    if (!Obj)
+      trap("null reference in " + F.Name);
+    if (Obj->isArray() || (ClassId >= 0 && Obj->Class != &M.Classes[ClassId]))
+      trap("reference has wrong class in " + F.Name);
+    return Obj;
+  };
+
+  auto ArrayOperand = [&](const Value &V) -> HeapObject * {
+    HeapObject *Obj = RefVal(V);
+    if (!Obj)
+      trap("null array reference in " + F.Name);
+    if (!Obj->isArray())
+      trap("reference is not an array in " + F.Name);
+    return Obj;
+  };
+
+  auto SaveSnapshot = [&](int Block, std::size_t Idx) {
+    Fr.HasSnapshot = true;
+    Fr.SnapBlock = Block;
+    Fr.SnapIdx = Idx;
+    Fr.SnapRegs = Fr.Regs;
+    Fr.SnapLocals = Fr.Locals;
+  };
+
+  int Block = 0;
+  std::size_t Idx = 0;
+  uint64_t InstrsSinceValidate = 0;
+
+  auto RestoreSnapshot = [&]() {
+    Fr.Regs = Fr.SnapRegs;
+    Fr.Locals = Fr.SnapLocals;
+    Block = Fr.SnapBlock;
+    Idx = Fr.SnapIdx;
+    Fr.OwnsTx = false;
+    Counts.TxRetried.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  struct DepthGuard {
+    ~DepthGuard() { --CallDepth; }
+  } Guard;
+
+  for (;;) {
+    BasicBlock &BB = *F.Blocks[Block];
+    assert(Idx < BB.Instrs.size() && "ran off the end of a block");
+    Instr &I = BB.Instrs[Idx];
+    Counts.Instrs.fetch_add(1, std::memory_order_relaxed);
+
+    try {
+      // Bound zombie execution: a doomed transaction may loop on stale
+      // pointers; periodic validation aborts it.
+      if (Opts.Mode == TxMode::ObjStm && Opts.ValidateEveryNInstrs &&
+          ++InstrsSinceValidate >= Opts.ValidateEveryNInstrs) {
+        InstrsSinceValidate = 0;
+        if (Tx.inTx())
+          Tx.validateOrAbort();
+      }
+
+      switch (I.Op) {
+      case Opcode::Mov:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]);
+        break;
+      case Opcode::Add:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) + Val(I.Operands[1]);
+        break;
+      case Opcode::Sub:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) - Val(I.Operands[1]);
+        break;
+      case Opcode::Mul:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) * Val(I.Operands[1]);
+        break;
+      case Opcode::Div: {
+        int64_t D = Val(I.Operands[1]);
+        if (D == 0)
+          trap("division by zero in " + F.Name);
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) / D;
+        break;
+      }
+      case Opcode::Rem: {
+        int64_t D = Val(I.Operands[1]);
+        if (D == 0)
+          trap("remainder by zero in " + F.Name);
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) % D;
+        break;
+      }
+      case Opcode::And:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) & Val(I.Operands[1]);
+        break;
+      case Opcode::Or:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) | Val(I.Operands[1]);
+        break;
+      case Opcode::Xor:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) ^ Val(I.Operands[1]);
+        break;
+      case Opcode::Shl:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0])
+                               << (Val(I.Operands[1]) & 63);
+        break;
+      case Opcode::Shr:
+        Fr.Regs[I.ResultReg] = static_cast<int64_t>(
+            static_cast<uint64_t>(Val(I.Operands[0])) >>
+            (Val(I.Operands[1]) & 63));
+        break;
+      case Opcode::CmpEq:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) == Val(I.Operands[1]);
+        break;
+      case Opcode::CmpNe:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) != Val(I.Operands[1]);
+        break;
+      case Opcode::CmpLt:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) < Val(I.Operands[1]);
+        break;
+      case Opcode::CmpLe:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) <= Val(I.Operands[1]);
+        break;
+      case Opcode::CmpGt:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) > Val(I.Operands[1]);
+        break;
+      case Opcode::CmpGe:
+        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) >= Val(I.Operands[1]);
+        break;
+      case Opcode::LoadLocal:
+        Fr.Regs[I.ResultReg] = Fr.Locals[I.LocalIdx];
+        break;
+      case Opcode::StoreLocal:
+        Fr.Locals[I.LocalIdx] = Val(I.Operands[0]);
+        break;
+      case Opcode::NewObj: {
+        if (Opts.GcEveryNAllocs &&
+            TheHeap.allocsSinceGc() >= Opts.GcEveryNAllocs)
+          collectGarbage();
+        HeapObject *Obj = TheHeap.allocObject(&M.Classes[I.ClassId]);
+        Fr.Regs[I.ResultReg] = HeapObject::toBits(Obj);
+        break;
+      }
+      case Opcode::NewArr: {
+        int64_t Len = Val(I.Operands[0]);
+        if (Len < 0 || Len > (int64_t(1) << 30))
+          trap("bad array length in " + F.Name);
+        if (Opts.GcEveryNAllocs &&
+            TheHeap.allocsSinceGc() >= Opts.GcEveryNAllocs)
+          collectGarbage();
+        Fr.Regs[I.ResultReg] = HeapObject::toBits(
+            TheHeap.allocArray(static_cast<std::size_t>(Len)));
+        break;
+      }
+      case Opcode::GetField: {
+        HeapObject *Obj = ObjectOperand(I.Operands[0], I.ClassId);
+        Counts.FieldReads.fetch_add(1, std::memory_order_relaxed);
+        Fr.Regs[I.ResultReg] = Obj->Slots[I.FieldIdx].load();
+        break;
+      }
+      case Opcode::SetField: {
+        HeapObject *Obj = ObjectOperand(I.Operands[0], I.ClassId);
+        Counts.FieldWrites.fetch_add(1, std::memory_order_relaxed);
+        Obj->Slots[I.FieldIdx].store(Val(I.Operands[1]));
+        break;
+      }
+      case Opcode::ArrLen: {
+        HeapObject *Arr = ArrayOperand(I.Operands[0]);
+        Counts.FieldReads.fetch_add(1, std::memory_order_relaxed);
+        Fr.Regs[I.ResultReg] = static_cast<int64_t>(Arr->slotCount());
+        break;
+      }
+      case Opcode::ArrGet: {
+        HeapObject *Arr = ArrayOperand(I.Operands[0]);
+        int64_t Index = Val(I.Operands[1]);
+        if (Index < 0 || static_cast<std::size_t>(Index) >= Arr->slotCount())
+          trap("array index out of bounds in " + F.Name);
+        Counts.FieldReads.fetch_add(1, std::memory_order_relaxed);
+        Fr.Regs[I.ResultReg] = Arr->Slots[Index].load();
+        break;
+      }
+      case Opcode::ArrSet: {
+        HeapObject *Arr = ArrayOperand(I.Operands[0]);
+        int64_t Index = Val(I.Operands[1]);
+        if (Index < 0 || static_cast<std::size_t>(Index) >= Arr->slotCount())
+          trap("array index out of bounds in " + F.Name);
+        Counts.FieldWrites.fetch_add(1, std::memory_order_relaxed);
+        Arr->Slots[Index].store(Val(I.Operands[2]));
+        break;
+      }
+      case Opcode::Call: {
+        std::vector<int64_t> CallArgs;
+        CallArgs.reserve(I.Operands.size());
+        for (const Value &V : I.Operands)
+          CallArgs.push_back(Val(V));
+        Counts.Calls.fetch_add(1, std::memory_order_relaxed);
+        int64_t R = execFunction(*M.Functions[I.CalleeIdx], CallArgs);
+        if (I.ResultReg >= 0)
+          Fr.Regs[I.ResultReg] = R;
+        break;
+      }
+      case Opcode::Print: {
+        int64_t V = Val(I.Operands[0]);
+        if (Opts.CapturePrints) {
+          std::lock_guard<std::mutex> Lock(PrintMutex);
+          Printed.push_back(V);
+        } else {
+          std::printf("%lld\n", static_cast<long long>(V));
+        }
+        break;
+      }
+      case Opcode::AtomicBegin:
+        switch (Opts.Mode) {
+        case TxMode::IgnoreAtomic:
+          break;
+        case TxMode::GlobalLock:
+          globalTxMutex().lock();
+          ++GlobalLockDepth;
+          break;
+        case TxMode::ObjStm:
+          if (!Tx.inTx()) {
+            SaveSnapshot(Block, Idx);
+            Fr.OwnsTx = true;
+          }
+          Tx.begin();
+          Counts.TxStarted.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        break;
+      case Opcode::AtomicEnd:
+        switch (Opts.Mode) {
+        case TxMode::IgnoreAtomic:
+          break;
+        case TxMode::GlobalLock:
+          globalTxMutex().unlock();
+          --GlobalLockDepth;
+          break;
+        case TxMode::ObjStm:
+          if (Fr.OwnsTx && Tx.nestingDepth() == 1) {
+            if (!Tx.tryCommit()) {
+              RestoreSnapshot();
+              Retry.pause();
+              continue; // resume from atomic_begin
+            }
+            Fr.OwnsTx = false;
+            Fr.HasSnapshot = false;
+            Counts.TxCommitted.fetch_add(1, std::memory_order_relaxed);
+            Retry.reset();
+          } else {
+            Tx.tryCommit(); // nested level: always succeeds
+          }
+          break;
+        }
+        break;
+      case Opcode::OpenForRead: {
+        Counts.OpenRead.fetch_add(1, std::memory_order_relaxed);
+        if (Opts.Mode == TxMode::ObjStm && Tx.inTx())
+          if (HeapObject *Obj = RefVal(I.Operands[0]))
+            Tx.openForRead(Obj);
+        break;
+      }
+      case Opcode::OpenForUpdate: {
+        Counts.OpenUpdate.fetch_add(1, std::memory_order_relaxed);
+        if (Opts.Mode == TxMode::ObjStm && Tx.inTx())
+          if (HeapObject *Obj = RefVal(I.Operands[0]))
+            Tx.openForUpdate(Obj);
+        break;
+      }
+      case Opcode::LogUndoField: {
+        Counts.UndoField.fetch_add(1, std::memory_order_relaxed);
+        if (Opts.Mode == TxMode::ObjStm && Tx.inTx())
+          if (HeapObject *Obj = RefVal(I.Operands[0]))
+            Tx.logUndo(&Obj->Slots[I.FieldIdx]);
+        break;
+      }
+      case Opcode::LogUndoElem: {
+        Counts.UndoElem.fetch_add(1, std::memory_order_relaxed);
+        if (Opts.Mode == TxMode::ObjStm && Tx.inTx())
+          if (HeapObject *Obj = RefVal(I.Operands[0])) {
+            int64_t Index = Val(I.Operands[1]);
+            if (Index >= 0 &&
+                static_cast<std::size_t>(Index) < Obj->slotCount())
+              Tx.logUndo(&Obj->Slots[Index]);
+          }
+        break;
+      }
+      case Opcode::Br:
+        Block = I.TargetA;
+        Idx = 0;
+        continue;
+      case Opcode::CondBr:
+        Block = Val(I.Operands[0]) ? I.TargetA : I.TargetB;
+        Idx = 0;
+        continue;
+      case Opcode::Ret:
+        return I.Operands.empty() ? 0 : Val(I.Operands[0]);
+      }
+    } catch (const stm::AbortTx &Reason) {
+      if (!Fr.OwnsTx)
+        throw; // unwind to the frame that owns the transaction
+      Tx.rollbackAttempt(Reason.Why);
+      RestoreSnapshot();
+      Retry.pause();
+      continue;
+    }
+    ++Idx;
+  }
+}

@@ -1,0 +1,123 @@
+//===- interp/Interp.h - TMIR interpreter over the STM ---------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes TMIR against the real STM runtime. The interpreter plays the
+/// role of the compiled program in the paper's evaluation: lowered modules
+/// run their barrier instructions through stm::TxManager, so the dynamic
+/// barrier counts, abort rates and log sizes it reports are those of real
+/// transactions (experiments E5, E8).
+///
+/// Transaction modes:
+///   - IgnoreAtomic — region markers are no-ops (sequential baseline);
+///   - GlobalLock   — each region runs under one global recursive mutex
+///                    (the coarse-lock baseline);
+///   - ObjStm       — regions are real STM transactions with retry: at
+///                    AtomicBegin the frame state (registers + locals +
+///                    pc) is snapshotted; a conflict or failed commit
+///                    rolls the STM back and resumes from the snapshot.
+///
+/// Multiple threads may call run() concurrently (each gets its own frame
+/// stack); the GC trigger must stay disabled in that case (see Heap).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_INTERP_INTERP_H
+#define OTM_INTERP_INTERP_H
+
+#include "interp/Heap.h"
+#include "tmir/IR.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace otm {
+namespace interp {
+
+/// Dynamic operation counters (process-wide, relaxed atomics).
+struct DynCounts {
+  std::atomic<uint64_t> Instrs{0};
+  std::atomic<uint64_t> OpenRead{0};
+  std::atomic<uint64_t> OpenUpdate{0};
+  std::atomic<uint64_t> UndoField{0};
+  std::atomic<uint64_t> UndoElem{0};
+  std::atomic<uint64_t> FieldReads{0};
+  std::atomic<uint64_t> FieldWrites{0};
+  std::atomic<uint64_t> Calls{0};
+  std::atomic<uint64_t> TxStarted{0};
+  std::atomic<uint64_t> TxCommitted{0};
+  std::atomic<uint64_t> TxRetried{0};
+
+  void reset() {
+    Instrs = OpenRead = OpenUpdate = UndoField = UndoElem = 0;
+    FieldReads = FieldWrites = Calls = 0;
+    TxStarted = TxCommitted = TxRetried = 0;
+  }
+};
+
+class Interpreter {
+public:
+  enum class TxMode { IgnoreAtomic, GlobalLock, ObjStm };
+
+  struct Options {
+    TxMode Mode = TxMode::ObjStm;
+    /// Auto-collect when this many allocations accumulate (0 = never).
+    /// Only legal for single-threaded runs.
+    uint64_t GcEveryNAllocs = 0;
+    /// Validate the running transaction every N instructions to bound
+    /// zombie execution (0 = never).
+    uint64_t ValidateEveryNInstrs = 1024;
+    /// Capture `print` output instead of writing to stdout.
+    bool CapturePrints = true;
+  };
+
+  struct RunResult {
+    bool Trapped = false;
+    std::string Error;
+    int64_t Value = 0;
+  };
+
+  Interpreter(tmir::Module &M, Options Opts);
+
+  /// Runs function \p Name with i64/reference arguments (refs as bits).
+  RunResult run(const std::string &Name, const std::vector<int64_t> &Args);
+
+  Heap &heap() { return TheHeap; }
+  DynCounts &counts() { return Counts; }
+  const std::vector<int64_t> &printedValues() const { return Printed; }
+  void clearPrinted() { Printed.clear(); }
+
+  /// Allocates an object/array usable as a run() argument (setup phases).
+  HeapObject *makeObject(const std::string &ClassName);
+  HeapObject *makeArray(std::size_t Length);
+
+  /// Runs a collection now, using the current thread's frames and the
+  /// current transaction's logs as roots. Single-mutator only.
+  void collectGarbage();
+
+  /// One interpreter activation record; public so the thread-local frame
+  /// registry (GC roots) can refer to it.
+  struct Frame;
+
+private:
+
+  int64_t execFunction(tmir::Function &F, const std::vector<int64_t> &Args);
+  void maybeGcAndValidate(tmir::Function &F);
+
+  tmir::Module &M;
+  Options Opts;
+  Heap TheHeap;
+  DynCounts Counts;
+  std::vector<int64_t> Printed; // guarded by PrintMutex
+  std::mutex PrintMutex;
+};
+
+} // namespace interp
+} // namespace otm
+
+#endif // OTM_INTERP_INTERP_H

@@ -1,0 +1,94 @@
+//===- passes/AllocElision.cpp - Barrier elision on fresh objects ----------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/AllocElision.h"
+
+#include "passes/DataflowUtil.h"
+
+using namespace otm;
+using namespace otm::passes;
+using namespace otm::tmir;
+
+namespace {
+
+bool isFreshReg(const FactSet &Facts, const Value &V) {
+  return V.isReg() &&
+         Facts.count(
+             packFact(FactKind::FreshReg, static_cast<uint64_t>(V.regId())));
+}
+
+void transferFresh(FactSet &Facts, const Instr &I) {
+  switch (I.Op) {
+  case Opcode::NewObj:
+  case Opcode::NewArr:
+    killRegFacts(Facts, I.ResultReg);
+    Facts.insert(
+        packFact(FactKind::FreshReg, static_cast<uint64_t>(I.ResultReg)));
+    return;
+  case Opcode::Mov: {
+    bool Fresh = isFreshReg(Facts, I.Operands[0]);
+    killRegFacts(Facts, I.ResultReg);
+    if (Fresh)
+      Facts.insert(
+          packFact(FactKind::FreshReg, static_cast<uint64_t>(I.ResultReg)));
+    return;
+  }
+  case Opcode::LoadLocal: {
+    bool Fresh = Facts.count(packFact(FactKind::FreshLocal,
+                                      static_cast<uint64_t>(I.LocalIdx))) != 0;
+    killRegFacts(Facts, I.ResultReg);
+    if (Fresh)
+      Facts.insert(
+          packFact(FactKind::FreshReg, static_cast<uint64_t>(I.ResultReg)));
+    return;
+  }
+  case Opcode::StoreLocal:
+    if (isFreshReg(Facts, I.Operands[0]))
+      Facts.insert(
+          packFact(FactKind::FreshLocal, static_cast<uint64_t>(I.LocalIdx)));
+    else
+      killLocalFact(Facts, I.LocalIdx);
+    return;
+  case Opcode::AtomicBegin:
+  case Opcode::AtomicEnd:
+    // Fresh means "allocated inside the current region"; objects from
+    // before the transaction (or a previous one) are shared.
+    Facts.clear();
+    return;
+  default:
+    if (I.ResultReg >= 0)
+      killRegFacts(Facts, I.ResultReg);
+    return;
+  }
+}
+
+} // namespace
+
+bool AllocElisionPass::run(Module &M) {
+  Removed = 0;
+  for (std::unique_ptr<Function> &FP : M.Functions) {
+    Function &F = *FP;
+    // In a transactional clone freshness survives from function entry only
+    // if the allocation happened in this function; parameters are never
+    // fresh, so starting from the empty set is correct for both kinds.
+    std::vector<FactSet> In = solveForward(F, transferFresh);
+    for (std::unique_ptr<BasicBlock> &BB : F.Blocks) {
+      FactSet Facts = In[BB->Id];
+      std::vector<Instr> Kept;
+      Kept.reserve(BB->Instrs.size());
+      for (Instr &I : BB->Instrs) {
+        if (isBarrier(I.Op) && isFreshReg(Facts, I.Operands[0])) {
+          ++Removed;
+          continue;
+        }
+        transferFresh(Facts, I);
+        Kept.push_back(std::move(I));
+      }
+      BB->Instrs = std::move(Kept);
+    }
+  }
+  return Removed != 0;
+}

@@ -1,0 +1,41 @@
+//===- passes/AllocElision.h - Barrier elision on fresh objects -*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Objects allocated inside a transaction are private to it until commit:
+/// no other transaction can acquire them (any pointer to them published by
+/// an in-place store sits behind an object this transaction has opened for
+/// update), and an abort discards them wholesale. They therefore need
+/// neither opens nor undo logging. This pass tracks "freshly allocated in
+/// this transaction" through registers, movs and local slots with a
+/// forward must-analysis and deletes every barrier whose object operand is
+/// provably fresh.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_ALLOCELISION_H
+#define OTM_PASSES_ALLOCELISION_H
+
+#include "passes/Pass.h"
+
+namespace otm {
+namespace passes {
+
+class AllocElisionPass : public Pass {
+public:
+  const char *name() const override { return "alloc-elision"; }
+  bool run(tmir::Module &M) override;
+
+  unsigned removedLastRun() const { return Removed; }
+
+private:
+  unsigned Removed = 0;
+};
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_ALLOCELISION_H

@@ -1,0 +1,125 @@
+//===- passes/ConstFold.cpp - Constant folding -------------------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/ConstFold.h"
+
+#include <optional>
+
+using namespace otm;
+using namespace otm::passes;
+using namespace otm::tmir;
+
+namespace {
+
+/// Evaluates a pure binary operation over two immediates. Returns nothing
+/// for trapping cases (division by zero stays in the program).
+std::optional<int64_t> evaluate(Opcode Op, int64_t A, int64_t B) {
+  switch (Op) {
+  case Opcode::Add:
+    return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                static_cast<uint64_t>(B));
+  case Opcode::Sub:
+    return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                                static_cast<uint64_t>(B));
+  case Opcode::Mul:
+    return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                                static_cast<uint64_t>(B));
+  case Opcode::Div:
+    if (B == 0)
+      return std::nullopt;
+    return A / B;
+  case Opcode::Rem:
+    if (B == 0)
+      return std::nullopt;
+    return A % B;
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return static_cast<int64_t>(static_cast<uint64_t>(A) << (B & 63));
+  case Opcode::Shr:
+    return static_cast<int64_t>(static_cast<uint64_t>(A) >> (B & 63));
+  case Opcode::CmpEq:
+    return A == B;
+  case Opcode::CmpNe:
+    return A != B;
+  case Opcode::CmpLt:
+    return A < B;
+  case Opcode::CmpLe:
+    return A <= B;
+  case Opcode::CmpGt:
+    return A > B;
+  case Opcode::CmpGe:
+    return A >= B;
+  default:
+    return std::nullopt;
+  }
+}
+
+bool runOnFunction(Function &F, unsigned &Folded) {
+  bool Changed = false;
+  bool Iterate = true;
+  while (Iterate) {
+    Iterate = false;
+    // Registers known to hold a constant.
+    std::vector<std::optional<int64_t>> Known(F.RegNames.size());
+    for (std::unique_ptr<BasicBlock> &BB : F.Blocks)
+      for (Instr &I : BB->Instrs) {
+        if (I.ResultReg < 0)
+          continue;
+        if (I.Op == Opcode::Mov && I.Operands[0].isImm()) {
+          Known[I.ResultReg] = I.Operands[0].immValue();
+          continue;
+        }
+        if (!isBinaryArith(I.Op) && !isCompare(I.Op))
+          continue;
+        if (!I.Operands[0].isImm() || !I.Operands[1].isImm())
+          continue;
+        if (std::optional<int64_t> V = evaluate(
+                I.Op, I.Operands[0].immValue(), I.Operands[1].immValue())) {
+          I.Op = Opcode::Mov;
+          I.Operands = {Value::imm(*V)};
+          Known[I.ResultReg] = *V;
+          ++Folded;
+          Iterate = Changed = true;
+        }
+      }
+
+    // Propagate known constants into operands (the next round folds more)
+    // and collapse constant conditional branches.
+    for (std::unique_ptr<BasicBlock> &BB : F.Blocks)
+      for (Instr &I : BB->Instrs) {
+        for (Value &V : I.Operands)
+          if (V.isReg() && Known[V.regId()]) {
+            V = Value::imm(*Known[V.regId()]);
+            Iterate = Changed = true;
+          }
+        if (I.Op == Opcode::CondBr && I.Operands[0].isImm()) {
+          int Target = I.Operands[0].immValue() ? I.TargetA : I.TargetB;
+          I.Op = Opcode::Br;
+          I.Operands.clear();
+          I.TargetA = Target;
+          I.TargetB = -1;
+          ++Folded;
+          Iterate = Changed = true;
+        }
+      }
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool ConstFoldPass::run(Module &M) {
+  Folded = 0;
+  bool Changed = false;
+  for (std::unique_ptr<Function> &F : M.Functions)
+    Changed |= runOnFunction(*F, Folded);
+  return Changed;
+}

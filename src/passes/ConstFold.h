@@ -1,0 +1,39 @@
+//===- passes/ConstFold.h - Constant folding --------------------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Folds arithmetic and comparisons over immediate operands, propagates the
+/// results, and turns constant conditional branches into unconditional
+/// ones (SimplifyCFG then removes the dead arm). Part of the paper's
+/// "decomposition exposes STM code to classic optimizations" story: a
+/// barrier guarded by a constant-false condition disappears entirely once
+/// folding, CFG simplification and DCE have run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_CONSTFOLD_H
+#define OTM_PASSES_CONSTFOLD_H
+
+#include "passes/Pass.h"
+
+namespace otm {
+namespace passes {
+
+class ConstFoldPass : public Pass {
+public:
+  const char *name() const override { return "const-fold"; }
+  bool run(tmir::Module &M) override;
+
+  unsigned foldedLastRun() const { return Folded; }
+
+private:
+  unsigned Folded = 0;
+};
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_CONSTFOLD_H

@@ -1,0 +1,32 @@
+//===- passes/DCE.h - Dead code elimination ---------------------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Removes side-effect-free instructions whose results are unused. After
+/// barrier elimination, the loads that only fed removed barriers become
+/// dead — the "decomposition exposes STM operations to classic compiler
+/// optimizations" effect the paper highlights.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_DCE_H
+#define OTM_PASSES_DCE_H
+
+#include "passes/Pass.h"
+
+namespace otm {
+namespace passes {
+
+class DcePass : public Pass {
+public:
+  const char *name() const override { return "dce"; }
+  bool run(tmir::Module &M) override;
+};
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_DCE_H

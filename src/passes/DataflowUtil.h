@@ -1,0 +1,207 @@
+//===- passes/DataflowUtil.h - Barrier dataflow helpers --------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the barrier dataflow passes: packed fact keys
+/// (open-available, undo-logged, freshly-allocated, anticipated-update),
+/// set intersection meets, and optimistic iterative forward/backward
+/// solvers over a TMIR function's CFG.
+///
+/// Facts always refer to virtual registers; because each register has one
+/// static definition, a fact is invalidated exactly when its register's
+/// defining instruction re-executes — so the transfer functions kill all
+/// facts mentioning a register at its definition, which is what makes the
+/// analysis sound around loop back edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_DATAFLOWUTIL_H
+#define OTM_PASSES_DATAFLOWUTIL_H
+
+#include "tmir/IR.h"
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace otm {
+namespace passes {
+
+using FactSet = std::set<uint64_t>;
+
+//===----------------------------------------------------------------------===
+// Fact keys
+//===----------------------------------------------------------------------===
+
+enum class FactKind : uint64_t {
+  OpenRead = 1,   ///< object in reg is enlisted for read
+  OpenUpdate = 2, ///< object in reg is owned for update
+  UndoField = 3,  ///< (reg, class, field) already undo-logged
+  UndoElemImm = 4,///< (reg, constant index) already undo-logged
+  UndoElemReg = 5,///< (reg, index reg) already undo-logged
+  FreshReg = 6,   ///< reg holds an object allocated in this transaction
+  FreshLocal = 7, ///< local slot holds a transaction-fresh object
+  WillUpdate = 8, ///< reg is opened for update on every path to region end
+};
+
+inline uint64_t packFact(FactKind Kind, uint64_t A, uint64_t B = 0,
+                         uint64_t C = 0) {
+  return (static_cast<uint64_t>(Kind) << 60) | (A << 40) | (B << 20) | C;
+}
+
+/// Packs an undo-elem fact if the index is representable; returns 0 (no
+/// fact, never filtered) otherwise.
+inline uint64_t packUndoElem(int ArrReg, const tmir::Value &Idx) {
+  constexpr uint64_t Limit = 1 << 20;
+  if (Idx.isImm() && Idx.immValue() >= 0 &&
+      static_cast<uint64_t>(Idx.immValue()) < Limit)
+    return packFact(FactKind::UndoElemImm, static_cast<uint64_t>(ArrReg),
+                    static_cast<uint64_t>(Idx.immValue()));
+  if (Idx.isReg())
+    return packFact(FactKind::UndoElemReg, static_cast<uint64_t>(ArrReg),
+                    static_cast<uint64_t>(Idx.regId()));
+  return 0;
+}
+
+/// Removes every fact that mentions register \p Reg (as object or index).
+inline void killRegFacts(FactSet &Facts, int Reg) {
+  uint64_t R = static_cast<uint64_t>(Reg);
+  for (auto It = Facts.begin(); It != Facts.end();) {
+    FactKind Kind = static_cast<FactKind>(*It >> 60);
+    uint64_t A = (*It >> 40) & 0xfffff;
+    uint64_t B = (*It >> 20) & 0xfffff;
+    bool Mentions = false;
+    switch (Kind) {
+    case FactKind::OpenRead:
+    case FactKind::OpenUpdate:
+    case FactKind::UndoField:
+    case FactKind::UndoElemImm:
+    case FactKind::FreshReg:
+    case FactKind::WillUpdate:
+      Mentions = (A == R);
+      break;
+    case FactKind::UndoElemReg:
+      Mentions = (A == R || B == R);
+      break;
+    case FactKind::FreshLocal:
+      Mentions = false;
+      break;
+    }
+    It = Mentions ? Facts.erase(It) : ++It;
+  }
+}
+
+inline void killLocalFact(FactSet &Facts, int Local) {
+  Facts.erase(packFact(FactKind::FreshLocal, static_cast<uint64_t>(Local)));
+}
+
+inline void intersectInto(FactSet &Dst, const FactSet &Src) {
+  for (auto It = Dst.begin(); It != Dst.end();)
+    It = Src.count(*It) ? ++It : Dst.erase(It);
+}
+
+//===----------------------------------------------------------------------===
+// Iterative solvers
+//===----------------------------------------------------------------------===
+
+/// Optimistic forward must-analysis: IN[entry] = {}, meet = intersection,
+/// unknown predecessors are TOP (identity). \p Transfer mutates the fact
+/// set per instruction. Returns IN per block.
+template <typename TransferFn>
+std::vector<FactSet> solveForward(const tmir::Function &F,
+                                  TransferFn Transfer) {
+  std::size_t N = F.Blocks.size();
+  std::vector<std::optional<FactSet>> Out(N);
+  std::vector<FactSet> In(N);
+  std::vector<std::vector<int>> Preds = F.computePredecessors();
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (std::size_t B = 0; B < N; ++B) {
+      // Meet over predecessors (entry block meets nothing).
+      FactSet NewIn;
+      bool First = true;
+      if (B != 0) {
+        bool AnyKnown = false;
+        for (int P : Preds[B]) {
+          if (!Out[P])
+            continue; // TOP: identity for intersection
+          AnyKnown = true;
+          if (First) {
+            NewIn = *Out[P];
+            First = false;
+          } else {
+            intersectInto(NewIn, *Out[P]);
+          }
+        }
+        if (!AnyKnown && !Preds[B].empty())
+          continue; // all preds TOP: stay optimistic this round
+      }
+      FactSet NewOut = NewIn;
+      for (const tmir::Instr &I : F.Blocks[B]->Instrs)
+        Transfer(NewOut, I);
+      if (!Out[B] || *Out[B] != NewOut || In[B] != NewIn) {
+        In[B] = std::move(NewIn);
+        Out[B] = std::move(NewOut);
+        Changed = true;
+      }
+    }
+  }
+  return In;
+}
+
+/// Optimistic backward must-analysis: OUT[b] = intersection of successor
+/// INs; exit blocks get {}. \p Transfer is applied to instructions in
+/// reverse. Returns OUT per block.
+template <typename TransferFn>
+std::vector<FactSet> solveBackward(const tmir::Function &F,
+                                   TransferFn Transfer) {
+  std::size_t N = F.Blocks.size();
+  std::vector<std::optional<FactSet>> In(N);
+  std::vector<FactSet> Out(N);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (std::size_t BI = N; BI > 0; --BI) {
+      std::size_t B = BI - 1;
+      std::vector<int> Succs = F.Blocks[B]->successors();
+      FactSet NewOut;
+      bool First = true;
+      bool AnyKnown = Succs.empty();
+      for (int S : Succs) {
+        if (!In[S])
+          continue;
+        AnyKnown = true;
+        if (First) {
+          NewOut = *In[S];
+          First = false;
+        } else {
+          intersectInto(NewOut, *In[S]);
+        }
+      }
+      if (!AnyKnown)
+        continue;
+      FactSet NewIn = NewOut;
+      const std::vector<tmir::Instr> &Instrs = F.Blocks[B]->Instrs;
+      for (std::size_t I = Instrs.size(); I > 0; --I)
+        Transfer(NewIn, Instrs[I - 1]);
+      if (!In[B] || *In[B] != NewIn || Out[B] != NewOut) {
+        Out[B] = std::move(NewOut);
+        In[B] = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_DATAFLOWUTIL_H

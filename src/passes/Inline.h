@@ -1,0 +1,51 @@
+//===- passes/Inline.h - Function inlining ----------------------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conservative bottom-up inliner. In the paper's system, inlining is
+/// the enabler optimization: once a callee's body is in the caller, the
+/// dominance-based open/undo elimination sees across the former call
+/// boundary and merges barriers that target the same object in caller and
+/// callee (e.g. a helper that re-reads an object its caller already opened
+/// pays nothing after inlining + open-elim).
+///
+/// A call is inlined when the callee
+///   - is small (block/instruction budget),
+///   - is not (mutually) recursive at this site (bounded by rounds),
+///   - is region-compatible: a callee containing atomic markers is never
+///     inlined into an atomic region (textual nesting is illegal; such
+///     call sites target marker-free `$tx` clones after tx-cloning anyway).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_INLINE_H
+#define OTM_PASSES_INLINE_H
+
+#include "passes/Pass.h"
+
+namespace otm {
+namespace passes {
+
+class InlinePass : public Pass {
+public:
+  explicit InlinePass(unsigned MaxCalleeInstrs = 64, unsigned MaxRounds = 4)
+      : MaxCalleeInstrs(MaxCalleeInstrs), MaxRounds(MaxRounds) {}
+
+  const char *name() const override { return "inline"; }
+  bool run(tmir::Module &M) override;
+
+  unsigned inlinedLastRun() const { return Inlined; }
+
+private:
+  unsigned MaxCalleeInstrs;
+  unsigned MaxRounds;
+  unsigned Inlined = 0;
+};
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_INLINE_H

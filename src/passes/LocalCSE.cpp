@@ -1,0 +1,96 @@
+//===- passes/LocalCSE.cpp - Local load/copy forwarding --------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Soundness note: TMIR registers are statically single-assignment but their
+// definitions re-execute in loops, so forwarding %a -> %s is only safe when
+// every re-execution of %s's definition also re-executes the forwarding
+// point. That holds when both live in the same block (blocks execute
+// atomically from entry to terminator). We therefore forward only values
+// that are constants or registers defined earlier in the same block.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/LocalCSE.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace otm;
+using namespace otm::passes;
+using namespace otm::tmir;
+
+namespace {
+
+/// Rewrites every use of register \p Reg in \p F to \p Replacement.
+void replaceAllUses(Function &F, int Reg, const Value &Replacement) {
+  for (std::unique_ptr<BasicBlock> &BB : F.Blocks)
+    for (Instr &I : BB->Instrs)
+      for (Value &V : I.Operands)
+        if (V.isReg() && V.regId() == Reg)
+          V = Replacement;
+}
+
+bool runOnFunction(Function &F) {
+  bool Changed = false;
+  for (std::unique_ptr<BasicBlock> &BB : F.Blocks) {
+    // Registers defined earlier in this block (safe forwarding sources).
+    std::unordered_set<int> DefinedHere;
+    // Known value of each local slot, if forwardable.
+    std::unordered_map<int, Value> SlotValue;
+
+    auto Forwardable = [&](const Value &V) {
+      if (V.isImm() || V.isNull())
+        return true;
+      return V.isReg() && DefinedHere.count(V.regId()) != 0;
+    };
+
+    std::vector<Instr> Kept;
+    Kept.reserve(BB->Instrs.size());
+    for (Instr &I : BB->Instrs) {
+      switch (I.Op) {
+      case Opcode::LoadLocal: {
+        auto It = SlotValue.find(I.LocalIdx);
+        if (It != SlotValue.end()) {
+          replaceAllUses(F, I.ResultReg, It->second);
+          Changed = true;
+          continue; // drop the redundant load
+        }
+        SlotValue[I.LocalIdx] = Value::reg(I.ResultReg);
+        break;
+      }
+      case Opcode::StoreLocal:
+        if (Forwardable(I.Operands[0]))
+          SlotValue[I.LocalIdx] = I.Operands[0];
+        else
+          SlotValue.erase(I.LocalIdx);
+        break;
+      case Opcode::Mov:
+        if (Forwardable(I.Operands[0])) {
+          replaceAllUses(F, I.ResultReg, I.Operands[0]);
+          Changed = true;
+          continue; // drop the copy
+        }
+        break;
+      default:
+        break;
+      }
+      if (I.ResultReg >= 0)
+        DefinedHere.insert(I.ResultReg);
+      Kept.push_back(std::move(I));
+    }
+    BB->Instrs = std::move(Kept);
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool LocalCsePass::run(Module &M) {
+  bool Changed = false;
+  for (std::unique_ptr<Function> &F : M.Functions)
+    Changed |= runOnFunction(*F);
+  return Changed;
+}

@@ -1,0 +1,40 @@
+//===- passes/LocalCSE.h - Local load/copy forwarding ----------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local value forwarding that makes the barrier dataflow effective:
+///
+///   - a LoadLocal of a slot whose value is already in a register (from an
+///     earlier load or store in the same block) is deleted and its uses
+///     rewritten to that register;
+///   - `mov %a, %b` / `mov %a, <const>` is deleted and uses of %a
+///     rewritten (copy propagation).
+///
+/// This matters because open availability is keyed on registers: without
+/// forwarding, each reload of the same local would look like a different
+/// object to the open-elimination pass — the same interplay the paper gets
+/// from running its STM decomposition before the compiler's standard CSE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_LOCALCSE_H
+#define OTM_PASSES_LOCALCSE_H
+
+#include "passes/Pass.h"
+
+namespace otm {
+namespace passes {
+
+class LocalCsePass : public Pass {
+public:
+  const char *name() const override { return "local-cse"; }
+  bool run(tmir::Module &M) override;
+};
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_LOCALCSE_H

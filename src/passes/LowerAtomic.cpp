@@ -1,0 +1,81 @@
+//===- passes/LowerAtomic.cpp - Naive barrier insertion --------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/LowerAtomic.h"
+
+#include "support/Compiler.h"
+#include "tmir/AtomicRegions.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace otm;
+using namespace otm::passes;
+using namespace otm::tmir;
+
+bool LowerAtomicPass::run(Module &M) {
+  bool Changed = false;
+  for (std::unique_ptr<Function> &FP : M.Functions) {
+    Function &F = *FP;
+    AtomicRegions AR(F);
+    if (!AR.valid()) {
+      std::fprintf(stderr, "lower-atomic: %s\n", AR.error().c_str());
+      std::abort();
+    }
+    if (!F.IsAllAtomic && !AR.hasAtomic())
+      continue;
+
+    for (std::unique_ptr<BasicBlock> &BB : F.Blocks) {
+      std::vector<Instr> NewInstrs;
+      NewInstrs.reserve(BB->Instrs.size());
+      for (std::size_t II = 0; II < BB->Instrs.size(); ++II) {
+        Instr &I = BB->Instrs[II];
+        bool InTx = F.IsAllAtomic || AR.inAtomic(BB->Id, II);
+        if (InTx) {
+          switch (I.Op) {
+          case Opcode::GetField:
+          case Opcode::ArrGet:
+          case Opcode::ArrLen: {
+            Instr Open = Instr::make(Opcode::OpenForRead);
+            Open.Operands.push_back(I.Operands[0]);
+            NewInstrs.push_back(std::move(Open));
+            Changed = true;
+            break;
+          }
+          case Opcode::SetField: {
+            Instr Open = Instr::make(Opcode::OpenForUpdate);
+            Open.Operands.push_back(I.Operands[0]);
+            NewInstrs.push_back(std::move(Open));
+            Instr Log = Instr::make(Opcode::LogUndoField);
+            Log.Operands.push_back(I.Operands[0]);
+            Log.ClassId = I.ClassId;
+            Log.FieldIdx = I.FieldIdx;
+            NewInstrs.push_back(std::move(Log));
+            Changed = true;
+            break;
+          }
+          case Opcode::ArrSet: {
+            Instr Open = Instr::make(Opcode::OpenForUpdate);
+            Open.Operands.push_back(I.Operands[0]);
+            NewInstrs.push_back(std::move(Open));
+            Instr Log = Instr::make(Opcode::LogUndoElem);
+            Log.Operands.push_back(I.Operands[0]);
+            Log.Operands.push_back(I.Operands[1]);
+            NewInstrs.push_back(std::move(Log));
+            Changed = true;
+            break;
+          }
+          default:
+            break;
+          }
+        }
+        NewInstrs.push_back(std::move(I));
+      }
+      BB->Instrs = std::move(NewInstrs);
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,40 @@
+//===- passes/LowerAtomic.h - Naive barrier insertion ----------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inserts the decomposed STM barriers that make transactional code
+/// correct, in the *naive* placement a non-optimizing translation
+/// produces — exactly one barrier per memory access:
+///
+///   - before every GetField/ArrGet/ArrLen in a region: OpenForRead(obj);
+///   - before every SetField in a region: OpenForUpdate(obj) followed by
+///     LogUndoField(obj, field);
+///   - before every ArrSet: OpenForUpdate(arr) + LogUndoElem(arr, idx).
+///
+/// Everything the later passes remove is inserted here first, so the
+/// before/after barrier counts measure precisely what the optimizations
+/// buy (experiment E4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_LOWERATOMIC_H
+#define OTM_PASSES_LOWERATOMIC_H
+
+#include "passes/Pass.h"
+
+namespace otm {
+namespace passes {
+
+class LowerAtomicPass : public Pass {
+public:
+  const char *name() const override { return "lower-atomic"; }
+  bool run(tmir::Module &M) override;
+};
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_LOWERATOMIC_H

@@ -1,0 +1,105 @@
+//===- passes/OpenElim.cpp - Redundant barrier elimination -----------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/OpenElim.h"
+
+#include "passes/DataflowUtil.h"
+
+using namespace otm;
+using namespace otm::passes;
+using namespace otm::tmir;
+
+namespace {
+
+/// Applies the availability transfer for one instruction to \p Facts.
+void transferOpen(FactSet &Facts, const Instr &I) {
+  switch (I.Op) {
+  case Opcode::OpenForRead:
+    if (I.Operands[0].isReg())
+      Facts.insert(packFact(FactKind::OpenRead,
+                            static_cast<uint64_t>(I.Operands[0].regId())));
+    return;
+  case Opcode::OpenForUpdate:
+    if (I.Operands[0].isReg()) {
+      uint64_t R = static_cast<uint64_t>(I.Operands[0].regId());
+      Facts.insert(packFact(FactKind::OpenUpdate, R));
+      Facts.insert(packFact(FactKind::OpenRead, R)); // update subsumes read
+    }
+    return;
+  case Opcode::LogUndoField:
+    if (I.Operands[0].isReg())
+      Facts.insert(packFact(FactKind::UndoField,
+                            static_cast<uint64_t>(I.Operands[0].regId()),
+                            static_cast<uint64_t>(I.ClassId),
+                            static_cast<uint64_t>(I.FieldIdx)));
+    return;
+  case Opcode::LogUndoElem:
+    if (I.Operands[0].isReg())
+      if (uint64_t Key = packUndoElem(I.Operands[0].regId(), I.Operands[1]))
+        Facts.insert(Key);
+    return;
+  case Opcode::AtomicBegin:
+  case Opcode::AtomicEnd:
+    Facts.clear();
+    return;
+  default:
+    if (I.ResultReg >= 0)
+      killRegFacts(Facts, I.ResultReg);
+    return;
+  }
+}
+
+/// True if \p I is redundant given available \p Facts.
+bool isRedundant(const FactSet &Facts, const Instr &I) {
+  if (!isBarrier(I.Op))
+    return false;
+  if (I.Operands[0].isNull())
+    return true; // barrier on null is a no-op
+  if (!I.Operands[0].isReg())
+    return false;
+  uint64_t R = static_cast<uint64_t>(I.Operands[0].regId());
+  switch (I.Op) {
+  case Opcode::OpenForRead:
+    return Facts.count(packFact(FactKind::OpenRead, R)) != 0;
+  case Opcode::OpenForUpdate:
+    return Facts.count(packFact(FactKind::OpenUpdate, R)) != 0;
+  case Opcode::LogUndoField:
+    return Facts.count(packFact(FactKind::UndoField, R,
+                                static_cast<uint64_t>(I.ClassId),
+                                static_cast<uint64_t>(I.FieldIdx))) != 0;
+  case Opcode::LogUndoElem: {
+    uint64_t Key = packUndoElem(I.Operands[0].regId(), I.Operands[1]);
+    return Key != 0 && Facts.count(Key) != 0;
+  }
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool OpenElimPass::run(Module &M) {
+  Removed = 0;
+  for (std::unique_ptr<Function> &FP : M.Functions) {
+    Function &F = *FP;
+    std::vector<FactSet> In = solveForward(F, transferOpen);
+    for (std::unique_ptr<BasicBlock> &BB : F.Blocks) {
+      FactSet Facts = In[BB->Id];
+      std::vector<Instr> Kept;
+      Kept.reserve(BB->Instrs.size());
+      for (Instr &I : BB->Instrs) {
+        if (isRedundant(Facts, I)) {
+          ++Removed;
+          continue;
+        }
+        transferOpen(Facts, I);
+        Kept.push_back(std::move(I));
+      }
+      BB->Instrs = std::move(Kept);
+    }
+  }
+  return Removed != 0;
+}

@@ -1,0 +1,49 @@
+//===- passes/OpenElim.h - Redundant barrier elimination -------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central optimization: because the decomposed open and
+/// undo-log operations are idempotent within a transaction, any such
+/// operation *dominated* by an equal-or-stronger one on the same reference
+/// is redundant. Implemented as a forward must-available dataflow:
+///
+///   - OpenForRead(r) is removed if OpenRead(r) or OpenUpdate(r) is
+///     available (an update open subsumes a read open);
+///   - OpenForUpdate(r) is removed if OpenUpdate(r) is available;
+///   - LogUndoField / LogUndoElem are removed if the same (object, field)
+///     or (array, index) fact is available;
+///   - barriers on the constant null are removed outright (the runtime
+///     treats them as no-ops).
+///
+/// Facts die at the defining instruction of their register (loop back
+/// edges re-execute the definition) and at region boundaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_OPENELIM_H
+#define OTM_PASSES_OPENELIM_H
+
+#include "passes/Pass.h"
+
+namespace otm {
+namespace passes {
+
+class OpenElimPass : public Pass {
+public:
+  const char *name() const override { return "open-elim"; }
+  bool run(tmir::Module &M) override;
+
+  /// Barriers removed by the last run (for reports/tests).
+  unsigned removedLastRun() const { return Removed; }
+
+private:
+  unsigned Removed = 0;
+};
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_OPENELIM_H

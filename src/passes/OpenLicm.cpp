@@ -1,0 +1,178 @@
+//===- passes/OpenLicm.cpp - Loop-invariant open hoisting ------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/OpenLicm.h"
+
+#include "passes/DataflowUtil.h"
+#include "tmir/AtomicRegions.h"
+#include "tmir/Dominators.h"
+#include "tmir/LoopInfo.h"
+
+#include <set>
+
+using namespace otm;
+using namespace otm::passes;
+using namespace otm::tmir;
+
+namespace {
+
+/// Finds the block where register \p Reg is defined, or -1.
+int findDefBlock(const Function &F, int Reg) {
+  for (const std::unique_ptr<BasicBlock> &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.ResultReg == Reg)
+        return BB->Id;
+  return -1;
+}
+
+/// A stable key identifying a barrier for deduplication when hoisting.
+uint64_t barrierKey(const Instr &I) {
+  if (!I.Operands[0].isReg())
+    return 0;
+  uint64_t R = static_cast<uint64_t>(I.Operands[0].regId());
+  switch (I.Op) {
+  case Opcode::OpenForRead:
+    return packFact(FactKind::OpenRead, R);
+  case Opcode::OpenForUpdate:
+    return packFact(FactKind::OpenUpdate, R);
+  case Opcode::LogUndoField:
+    return packFact(FactKind::UndoField, R, static_cast<uint64_t>(I.ClassId),
+                    static_cast<uint64_t>(I.FieldIdx));
+  case Opcode::LogUndoElem:
+    return packUndoElem(I.Operands[0].regId(), I.Operands[1]);
+  default:
+    return 0;
+  }
+}
+
+/// Performs one round of hoisting on \p F; returns hoist count (0 = done).
+unsigned hoistOnce(Function &F) {
+  AtomicRegions AR(F);
+  if (!AR.valid())
+    return 0;
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+
+  for (const Loop &L : LI.loops()) {
+    // The whole loop must run transactionally: every block enters inside a
+    // region and contains no region markers.
+    bool FullyAtomic = true;
+    for (int B : L.Blocks) {
+      if (!F.IsAllAtomic && !AR.inAtomicAtEntry(B)) {
+        FullyAtomic = false;
+        break;
+      }
+      for (const Instr &I : F.Blocks[B]->Instrs)
+        if (I.Op == Opcode::AtomicBegin || I.Op == Opcode::AtomicEnd) {
+          FullyAtomic = false;
+          break;
+        }
+    }
+    if (!FullyAtomic)
+      continue;
+
+    // Collect hoistable barriers.
+    struct Candidate {
+      int Block;
+      std::size_t Index;
+    };
+    std::vector<Candidate> Candidates;
+    std::set<uint64_t> Keys;
+    for (int B : L.Blocks) {
+      bool DominatesLatches = true;
+      for (int Latch : L.Latches)
+        if (!DT.dominates(B, Latch)) {
+          DominatesLatches = false;
+          break;
+        }
+      if (!DominatesLatches)
+        continue;
+      const BasicBlock &BB = *F.Blocks[B];
+      for (std::size_t II = 0; II < BB.Instrs.size(); ++II) {
+        const Instr &I = BB.Instrs[II];
+        if (!isBarrier(I.Op))
+          continue;
+        // Every register the barrier mentions must be loop-invariant.
+        bool Invariant = true;
+        for (const Value &V : I.Operands)
+          if (V.isReg()) {
+            int Def = findDefBlock(F, V.regId());
+            if (Def < 0 || L.contains(Def)) {
+              Invariant = false;
+              break;
+            }
+          }
+        if (!Invariant)
+          continue;
+        uint64_t Key = barrierKey(I);
+        if (Key == 0 || Keys.count(Key))
+          continue; // unkeyable or duplicate of an already-hoisted barrier
+        Keys.insert(Key);
+        Candidates.push_back({B, II});
+      }
+    }
+    if (Candidates.empty())
+      continue;
+
+    // Find or create the preheader.
+    std::vector<std::vector<int>> Preds = F.computePredecessors();
+    std::vector<int> Outside;
+    for (int P : Preds[L.Header])
+      if (!L.contains(P))
+        Outside.push_back(P);
+    BasicBlock *Preheader = nullptr;
+    if (Outside.size() == 1) {
+      BasicBlock &Cand = *F.Blocks[Outside[0]];
+      if (Cand.terminator().Op == Opcode::Br)
+        Preheader = &Cand;
+    }
+    if (!Preheader) {
+      Preheader = F.addBlock(F.Blocks[L.Header]->Name + "$preheader");
+      Instr Jump = Instr::make(Opcode::Br);
+      Jump.TargetA = L.Header;
+      Preheader->Instrs.push_back(std::move(Jump));
+      for (int P : Outside) {
+        Instr &T = F.Blocks[P]->Instrs.back();
+        if (T.TargetA == L.Header)
+          T.TargetA = Preheader->Id;
+        if (T.Op == Opcode::CondBr && T.TargetB == L.Header)
+          T.TargetB = Preheader->Id;
+      }
+    }
+
+    // Move the candidates (in order) to the preheader, before its branch.
+    std::vector<Instr> Moved;
+    for (const Candidate &C : Candidates)
+      Moved.push_back(F.Blocks[C.Block]->Instrs[C.Index]);
+    // Erase from the loop blocks (descending index order per block).
+    for (std::size_t CI = Candidates.size(); CI > 0; --CI) {
+      const Candidate &C = Candidates[CI - 1];
+      F.Blocks[C.Block]->Instrs.erase(F.Blocks[C.Block]->Instrs.begin() +
+                                      static_cast<long>(C.Index));
+    }
+    Preheader->Instrs.insert(Preheader->Instrs.end() - 1, Moved.begin(),
+                             Moved.end());
+    return static_cast<unsigned>(Moved.size());
+  }
+  return 0;
+}
+
+} // namespace
+
+bool OpenLicmPass::run(Module &M) {
+  Hoisted = 0;
+  for (std::unique_ptr<Function> &FP : M.Functions) {
+    // One loop is transformed per round (the CFG changes); cap rounds
+    // defensively.
+    for (unsigned Round = 0; Round < 64; ++Round) {
+      unsigned N = hoistOnce(*FP);
+      if (N == 0)
+        break;
+      Hoisted += N;
+    }
+  }
+  return Hoisted != 0;
+}

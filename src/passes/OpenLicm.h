@@ -1,0 +1,40 @@
+//===- passes/OpenLicm.h - Loop-invariant open hoisting --------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hoists loop-invariant barriers out of loops that execute entirely
+/// inside a transaction: an open (or undo log) of a reference defined
+/// outside the loop, executed on every iteration (its block dominates all
+/// latches), is moved to the loop preheader, paying its cost once instead
+/// of once per iteration. Barriers are idempotent and — via the runtime's
+/// null-tolerant barrier semantics — safe to execute speculatively when
+/// the loop body would run zero times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_OPENLICM_H
+#define OTM_PASSES_OPENLICM_H
+
+#include "passes/Pass.h"
+
+namespace otm {
+namespace passes {
+
+class OpenLicmPass : public Pass {
+public:
+  const char *name() const override { return "open-licm"; }
+  bool run(tmir::Module &M) override;
+
+  unsigned hoistedLastRun() const { return Hoisted; }
+
+private:
+  unsigned Hoisted = 0;
+};
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_OPENLICM_H

@@ -1,0 +1,78 @@
+//===- passes/Pass.h - Pass framework and barrier statistics ---*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal pass framework for TMIR plus the static barrier statistics the
+/// paper's tables report: the number of OpenForRead / OpenForUpdate /
+/// LogForUndo operations in the module before and after each pass. Every
+/// pass leaves the module verifier-clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_PASS_H
+#define OTM_PASSES_PASS_H
+
+#include "tmir/IR.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace otm {
+namespace passes {
+
+/// Static counts of transactional operations in a module.
+struct BarrierCounts {
+  unsigned OpenRead = 0;
+  unsigned OpenUpdate = 0;
+  unsigned UndoField = 0;
+  unsigned UndoElem = 0;
+
+  unsigned total() const {
+    return OpenRead + OpenUpdate + UndoField + UndoElem;
+  }
+};
+
+BarrierCounts countBarriers(const tmir::Module &M);
+BarrierCounts countBarriers(const tmir::Function &F);
+
+class Pass {
+public:
+  virtual ~Pass() = default;
+  virtual const char *name() const = 0;
+  /// Transforms \p M; returns true if anything changed.
+  virtual bool run(tmir::Module &M) = 0;
+};
+
+/// One line of the per-pass report (feeds experiment E4's table).
+struct PassReport {
+  std::string PassName;
+  BarrierCounts Before;
+  BarrierCounts After;
+  bool Changed = false;
+};
+
+class PassManager {
+public:
+  void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+
+  template <typename PassType, typename... ArgTypes>
+  void addPass(ArgTypes &&...Args) {
+    add(std::make_unique<PassType>(std::forward<ArgTypes>(Args)...));
+  }
+
+  /// Runs all passes in order, verifying after each, and returns the
+  /// per-pass barrier report.
+  std::vector<PassReport> run(tmir::Module &M);
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_PASS_H

@@ -1,0 +1,66 @@
+//===- passes/Pipeline.cpp - Standard optimization pipelines ---------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Pipeline.h"
+
+#include "passes/AllocElision.h"
+#include "passes/Inline.h"
+#include "passes/ConstFold.h"
+#include "passes/DCE.h"
+#include "passes/LocalCSE.h"
+#include "passes/LowerAtomic.h"
+#include "passes/OpenElim.h"
+#include "passes/OpenLicm.h"
+#include "passes/SimplifyCFG.h"
+#include "passes/TxClone.h"
+#include "passes/Upgrade.h"
+
+using namespace otm;
+using namespace otm::passes;
+
+void passes::buildPipeline(PassManager &PM, const OptConfig &Config) {
+  // Inlining runs before lowering so the open-elimination pass can see
+  // across former call boundaries (the paper's enabler optimization).
+  if (Config.Inline)
+    PM.addPass<InlinePass>();
+  // Lowering is unconditional: calls inside atomic regions are retargeted
+  // to transactional clones, then naive barriers are inserted everywhere.
+  PM.addPass<TxClonePass>();
+  PM.addPass<LowerAtomicPass>();
+
+  if (Config.SimplifyCfg)
+    PM.addPass<SimplifyCfgPass>();
+  if (Config.LocalCse)
+    PM.addPass<LocalCsePass>();
+  if (Config.ConstFold) {
+    PM.addPass<ConstFoldPass>();
+    if (Config.SimplifyCfg)
+      PM.addPass<SimplifyCfgPass>(); // collapse constant branches
+  }
+  if (Config.OpenElim)
+    PM.addPass<OpenElimPass>();
+  if (Config.Upgrade) {
+    PM.addPass<UpgradePass>();
+    if (Config.OpenElim)
+      PM.addPass<OpenElimPass>(); // delete the now-dominated update opens
+  }
+  if (Config.AllocElision)
+    PM.addPass<AllocElisionPass>();
+  if (Config.OpenLicm) {
+    PM.addPass<OpenLicmPass>();
+    if (Config.OpenElim)
+      PM.addPass<OpenElimPass>(); // hoisted opens dominate loop bodies
+  }
+  if (Config.Dce)
+    PM.addPass<DcePass>();
+}
+
+std::vector<PassReport> passes::lowerAndOptimize(tmir::Module &M,
+                                                 const OptConfig &Config) {
+  PassManager PM;
+  buildPipeline(PM, Config);
+  return PM.run(M);
+}

@@ -1,0 +1,53 @@
+//===- passes/Pipeline.h - Standard optimization pipelines -----*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assembles the pass pipelines the experiments compare. Lowering (tx
+/// cloning + naive barrier insertion) is always performed; OptConfig picks
+/// which of the paper's optimizations run on top, so E4/E5 can report each
+/// optimization's individual contribution cumulatively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_PIPELINE_H
+#define OTM_PASSES_PIPELINE_H
+
+#include "passes/Pass.h"
+
+namespace otm {
+namespace passes {
+
+struct OptConfig {
+  bool Inline = true;       ///< inline small callees before lowering
+  bool SimplifyCfg = true;  ///< merge chains, drop unreachable blocks
+  bool LocalCse = true;     ///< load/copy forwarding (enables the rest)
+  bool ConstFold = true;    ///< fold constants, collapse constant branches
+  bool OpenElim = true;     ///< dominated-open / dominated-log removal
+  bool Upgrade = true;      ///< read-to-update strengthening
+  bool AllocElision = true; ///< no barriers on transaction-fresh objects
+  bool OpenLicm = true;     ///< hoist loop-invariant opens
+  bool Dce = true;          ///< cleanup of dead feeding code
+
+  static OptConfig none() {
+    OptConfig C;
+    C.Inline = C.SimplifyCfg = C.LocalCse = C.ConstFold = false;
+    C.OpenElim = C.Upgrade = C.AllocElision = C.OpenLicm = C.Dce = false;
+    return C;
+  }
+  static OptConfig all() { return OptConfig(); }
+};
+
+/// Adds tx-clone + lower-atomic + the configured optimizations to \p PM.
+void buildPipeline(PassManager &PM, const OptConfig &Config);
+
+/// Lowers and optimizes \p M in place; returns the per-pass reports.
+std::vector<PassReport> lowerAndOptimize(tmir::Module &M,
+                                         const OptConfig &Config);
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_PIPELINE_H

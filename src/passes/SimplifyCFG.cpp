@@ -1,0 +1,103 @@
+//===- passes/SimplifyCFG.cpp - CFG cleanup ---------------------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/SimplifyCFG.h"
+
+#include <vector>
+
+using namespace otm;
+using namespace otm::passes;
+using namespace otm::tmir;
+
+namespace {
+
+/// Rebuilds F.Blocks without the blocks marked dead, remapping ids.
+void compactBlocks(Function &F, const std::vector<bool> &Dead) {
+  std::vector<int> NewId(F.Blocks.size(), -1);
+  std::vector<std::unique_ptr<BasicBlock>> Kept;
+  for (std::size_t B = 0; B < F.Blocks.size(); ++B) {
+    if (Dead[B])
+      continue;
+    NewId[B] = static_cast<int>(Kept.size());
+    Kept.push_back(std::move(F.Blocks[B]));
+  }
+  for (std::size_t NewIdx = 0; NewIdx < Kept.size(); ++NewIdx) {
+    BasicBlock *BB = Kept[NewIdx].get();
+    BB->Id = static_cast<int>(NewIdx);
+    for (Instr &I : BB->Instrs) {
+      if (I.Op == Opcode::Br || I.Op == Opcode::CondBr) {
+        I.TargetA = NewId[I.TargetA];
+        if (I.Op == Opcode::CondBr)
+          I.TargetB = NewId[I.TargetB];
+      }
+    }
+  }
+  F.Blocks = std::move(Kept);
+}
+
+bool runOnFunction(Function &F) {
+  bool Changed = false;
+  bool Iterate = true;
+  while (Iterate) {
+    Iterate = false;
+    std::vector<bool> Dead(F.Blocks.size(), false);
+
+    // Delete unreachable blocks.
+    std::vector<bool> Reachable(F.Blocks.size(), false);
+    std::vector<int> Work{0};
+    Reachable[0] = true;
+    while (!Work.empty()) {
+      int B = Work.back();
+      Work.pop_back();
+      for (int S : F.Blocks[B]->successors())
+        if (!Reachable[S]) {
+          Reachable[S] = true;
+          Work.push_back(S);
+        }
+    }
+    for (std::size_t B = 1; B < F.Blocks.size(); ++B)
+      if (!Reachable[B])
+        Dead[B] = Iterate = Changed = true;
+
+    // Merge A -> B chains where A is B's unique predecessor.
+    std::vector<std::vector<int>> Preds = F.computePredecessors();
+    for (std::size_t B = 0; B < F.Blocks.size(); ++B) {
+      if (Dead[B])
+        continue;
+      BasicBlock &A = *F.Blocks[B];
+      if (A.terminator().Op != Opcode::Br)
+        continue;
+      int Succ = A.terminator().TargetA;
+      if (Succ == static_cast<int>(B) || Succ == 0 || Dead[Succ])
+        continue;
+      if (Preds[Succ].size() != 1)
+        continue;
+      A.Instrs.pop_back(); // the br
+      BasicBlock &BBlk = *F.Blocks[Succ];
+      for (Instr &I : BBlk.Instrs)
+        A.Instrs.push_back(std::move(I));
+      BBlk.Instrs.clear();
+      Dead[Succ] = Iterate = Changed = true;
+      break; // predecessor lists are stale; recompute
+    }
+
+    bool AnyDead = false;
+    for (std::size_t B = 0; B < Dead.size(); ++B)
+      AnyDead |= Dead[B];
+    if (AnyDead)
+      compactBlocks(F, Dead);
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool SimplifyCfgPass::run(Module &M) {
+  bool Changed = false;
+  for (std::unique_ptr<Function> &F : M.Functions)
+    Changed |= runOnFunction(*F);
+  return Changed;
+}

@@ -1,0 +1,33 @@
+//===- passes/SimplifyCFG.h - CFG cleanup -----------------------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Merges straight-line block chains (A ends in an unconditional branch to
+/// B, and A is B's only predecessor) and deletes unreachable blocks.
+/// Inlining and preheader creation leave many such chains; merging them
+/// matters because LocalCSE's forwarding — and therefore the open
+/// elimination keyed on its registers — is block-local.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_SIMPLIFYCFG_H
+#define OTM_PASSES_SIMPLIFYCFG_H
+
+#include "passes/Pass.h"
+
+namespace otm {
+namespace passes {
+
+class SimplifyCfgPass : public Pass {
+public:
+  const char *name() const override { return "simplify-cfg"; }
+  bool run(tmir::Module &M) override;
+};
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_SIMPLIFYCFG_H

@@ -1,0 +1,84 @@
+//===- passes/TxClone.cpp - Transactional function cloning ----------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/TxClone.h"
+
+#include "tmir/AtomicRegions.h"
+
+#include <vector>
+
+using namespace otm;
+using namespace otm::passes;
+using namespace otm::tmir;
+
+Function *passes::cloneFunction(Module &M, const Function &F,
+                                const std::string &CloneName) {
+  Function *C = M.addFunction(CloneName);
+  C->ReturnTy = F.ReturnTy;
+  C->NumParams = F.NumParams;
+  C->Locals = F.Locals;
+  C->RegNames = F.RegNames;
+  C->RegTypes = F.RegTypes;
+  for (const std::unique_ptr<BasicBlock> &BB : F.Blocks) {
+    BasicBlock *NB = C->addBlock(BB->Name);
+    NB->Instrs = BB->Instrs; // block ids and register ids are positional
+  }
+  return C;
+}
+
+bool TxClonePass::run(Module &M) {
+  bool Changed = false;
+  // Map original function id -> clone id (lazily created).
+  std::vector<int> CloneOf(M.Functions.size(), -1);
+  // Functions whose call sites still need processing: pairs of
+  // (function id, only-atomic-call-sites?).
+  std::vector<int> Work;
+
+  auto cloneIdFor = [&](int CalleeIdx) {
+    if (M.Functions[CalleeIdx]->IsAllAtomic)
+      return CalleeIdx; // already a transactional version
+    if (static_cast<std::size_t>(CalleeIdx) >= CloneOf.size())
+      CloneOf.resize(M.Functions.size(), -1);
+    if (CloneOf[CalleeIdx] >= 0)
+      return CloneOf[CalleeIdx];
+    const Function &Orig = *M.Functions[CalleeIdx];
+    Function *Clone = cloneFunction(M, Orig, Orig.Name + "$tx");
+    Clone->IsAllAtomic = true;
+    CloneOf.resize(M.Functions.size(), -1);
+    CloneOf[CalleeIdx] = Clone->Id;
+    Work.push_back(Clone->Id);
+    return Clone->Id;
+  };
+
+  // Seed: calls inside explicit atomic regions of ordinary functions, plus
+  // all calls inside pre-existing all-atomic functions.
+  std::size_t OrigCount = M.Functions.size();
+  for (std::size_t FI = 0; FI < OrigCount; ++FI)
+    Work.push_back(static_cast<int>(FI));
+
+  while (!Work.empty()) {
+    int FI = Work.back();
+    Work.pop_back();
+    Function &F = *M.Functions[FI];
+    AtomicRegions AR(F);
+    if (!AR.valid())
+      continue; // the lowering pass reports invalid regions
+    for (std::unique_ptr<BasicBlock> &BB : F.Blocks)
+      for (std::size_t II = 0; II < BB->Instrs.size(); ++II) {
+        Instr &I = BB->Instrs[II];
+        if (I.Op != Opcode::Call)
+          continue;
+        bool Transactional = F.IsAllAtomic || AR.inAtomic(BB->Id, II);
+        if (!Transactional)
+          continue;
+        if (M.Functions[I.CalleeIdx]->IsAllAtomic)
+          continue; // already retargeted
+        I.CalleeIdx = cloneIdFor(I.CalleeIdx);
+        Changed = true;
+      }
+  }
+  return Changed;
+}

@@ -1,0 +1,38 @@
+//===- passes/TxClone.h - Transactional function cloning -------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Creates transactional clones of functions called from atomic regions —
+/// the paper's dual-version compilation: `f` keeps its unbarriered body for
+/// non-transactional callers, while `f$tx` (Function::IsAllAtomic) is the
+/// version the barrier-insertion pass instruments throughout. Call sites
+/// inside atomic regions (and inside clones) are retargeted to the clones,
+/// transitively over the call graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_TXCLONE_H
+#define OTM_PASSES_TXCLONE_H
+
+#include "passes/Pass.h"
+
+namespace otm {
+namespace passes {
+
+class TxClonePass : public Pass {
+public:
+  const char *name() const override { return "tx-clone"; }
+  bool run(tmir::Module &M) override;
+};
+
+/// Deep-copies \p F into \p M under \p CloneName (exposed for tests).
+tmir::Function *cloneFunction(tmir::Module &M, const tmir::Function &F,
+                              const std::string &CloneName);
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_TXCLONE_H

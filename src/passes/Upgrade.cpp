@@ -1,0 +1,62 @@
+//===- passes/Upgrade.cpp - Read-to-update open upgrading ------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Upgrade.h"
+
+#include "passes/DataflowUtil.h"
+
+using namespace otm;
+using namespace otm::passes;
+using namespace otm::tmir;
+
+namespace {
+
+/// Backward transfer: a register is "will be updated" before instruction I
+/// if it is after I, unless I defines it or ends the region.
+void transferAnticipated(FactSet &Facts, const Instr &I) {
+  switch (I.Op) {
+  case Opcode::OpenForUpdate:
+    if (I.Operands[0].isReg())
+      Facts.insert(packFact(FactKind::WillUpdate,
+                            static_cast<uint64_t>(I.Operands[0].regId())));
+    return;
+  case Opcode::AtomicBegin:
+  case Opcode::AtomicEnd:
+    Facts.clear();
+    return;
+  default:
+    if (I.ResultReg >= 0)
+      killRegFacts(Facts, I.ResultReg);
+    return;
+  }
+}
+
+} // namespace
+
+bool UpgradePass::run(Module &M) {
+  Upgraded = 0;
+  for (std::unique_ptr<Function> &FP : M.Functions) {
+    Function &F = *FP;
+    std::vector<FactSet> Out = solveBackward(F, transferAnticipated);
+    for (std::unique_ptr<BasicBlock> &BB : F.Blocks) {
+      // Recompute the running fact set backwards through the block so each
+      // open_read sees the anticipated-updates holding right after it.
+      FactSet Facts = Out[BB->Id];
+      for (std::size_t II = BB->Instrs.size(); II > 0; --II) {
+        Instr &I = BB->Instrs[II - 1];
+        if (I.Op == Opcode::OpenForRead && I.Operands[0].isReg() &&
+            Facts.count(packFact(
+                FactKind::WillUpdate,
+                static_cast<uint64_t>(I.Operands[0].regId())))) {
+          I.Op = Opcode::OpenForUpdate;
+          ++Upgraded;
+        }
+        transferAnticipated(Facts, I);
+      }
+    }
+  }
+  return Upgraded != 0;
+}

@@ -1,0 +1,40 @@
+//===- passes/Upgrade.h - Read-to-update open upgrading --------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's read-to-update upgrade: if an object opened for read is
+/// certain to be opened for update later in the same transaction (on every
+/// path — a backward *anticipability* analysis), the read open is
+/// strengthened to OpenForUpdate up front. The later update open then
+/// becomes dominated-redundant and a following open-elim run deletes it,
+/// saving both the read enlistment and the second barrier, and shrinking
+/// the window in which the upgrade itself could conflict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_PASSES_UPGRADE_H
+#define OTM_PASSES_UPGRADE_H
+
+#include "passes/Pass.h"
+
+namespace otm {
+namespace passes {
+
+class UpgradePass : public Pass {
+public:
+  const char *name() const override { return "read-to-update"; }
+  bool run(tmir::Module &M) override;
+
+  unsigned upgradedLastRun() const { return Upgraded; }
+
+private:
+  unsigned Upgraded = 0;
+};
+
+} // namespace passes
+} // namespace otm
+
+#endif // OTM_PASSES_UPGRADE_H

@@ -1,0 +1,114 @@
+//===- stm/HashFilter.h - Per-transaction duplicate filter -----*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime log filtering (Section "runtime filtering" of the paper): the
+/// compiler removes duplicate opens and undo-logs it can prove, but
+/// duplicates that reach the same object through different references can
+/// only be caught dynamically. Each transaction keeps two of these filters
+/// (one keyed by object for the read log, one keyed by address for the undo
+/// log) and skips the log append when the key was already present.
+///
+/// The filter is an open-addressing hash set with generation-stamped slots,
+/// so clearing between transactions is O(1): bump the generation and all
+/// slots become logically empty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_STM_HASHFILTER_H
+#define OTM_STM_HASHFILTER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace otm {
+namespace stm {
+
+class HashFilter {
+public:
+  HashFilter() : Slots(InitialCapacity) {}
+
+  /// Inserts \p Key; returns true if it was not already present.
+  bool insert(uintptr_t Key) {
+    if (Count * 4 >= Slots.size() * 3)
+      grow();
+    std::size_t Mask = Slots.size() - 1;
+    std::size_t Index = hash(Key) & Mask;
+    for (;;) {
+      Slot &S = Slots[Index];
+      if (S.Gen != Gen) {
+        S.Gen = Gen;
+        S.Key = Key;
+        ++Count;
+        return true;
+      }
+      if (S.Key == Key)
+        return false;
+      Index = (Index + 1) & Mask;
+    }
+  }
+
+  /// True if \p Key has been inserted since the last clear.
+  bool contains(uintptr_t Key) const {
+    std::size_t Mask = Slots.size() - 1;
+    std::size_t Index = hash(Key) & Mask;
+    for (;;) {
+      const Slot &S = Slots[Index];
+      if (S.Gen != Gen)
+        return false;
+      if (S.Key == Key)
+        return true;
+      Index = (Index + 1) & Mask;
+    }
+  }
+
+  /// O(1) logical clear.
+  void clear() {
+    ++Gen;
+    Count = 0;
+  }
+
+  std::size_t size() const { return Count; }
+
+private:
+  static constexpr std::size_t InitialCapacity = 64; // power of two
+
+  struct Slot {
+    uintptr_t Key = 0;
+    uint64_t Gen = 0; // slot is live iff Gen == filter generation
+  };
+
+  static std::size_t hash(uintptr_t Key) {
+    // Murmur3 finalizer; pointers share low zero bits, so mix thoroughly.
+    uint64_t H = static_cast<uint64_t>(Key);
+    H ^= H >> 33;
+    H *= 0xff51afd7ed558ccdULL;
+    H ^= H >> 33;
+    H *= 0xc4ceb9fe1a85ec53ULL;
+    H ^= H >> 33;
+    return static_cast<std::size_t>(H);
+  }
+
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(Old.size() * 2, Slot());
+    uint64_t OldGen = Gen++;
+    Count = 0;
+    for (const Slot &S : Old)
+      if (S.Gen == OldGen)
+        insert(S.Key);
+  }
+
+  std::vector<Slot> Slots;
+  uint64_t Gen = 1;
+  std::size_t Count = 0;
+};
+
+} // namespace stm
+} // namespace otm
+
+#endif // OTM_STM_HASHFILTER_H

@@ -1,0 +1,72 @@
+//===- stm/LogEntries.h - Per-transaction log entry types ------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Entry types of the four per-transaction logs of the decomposed STM:
+///
+///   - read-object log: (object, STM word seen at OpenForRead), validated
+///     at commit;
+///   - update log: (object, previous version word, owner); the object's STM
+///     word points at this entry while owned, so entries live in a
+///     ChunkedVector and never move;
+///   - undo log: (address, old bits, restore thunk), replayed backwards on
+///     abort;
+///   - alloc log: objects allocated inside the transaction, destroyed if it
+///     aborts (and the basis of the compiler's alloc-elision optimization);
+///     plus deferred frees that take effect only on commit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_STM_LOGENTRIES_H
+#define OTM_STM_LOGENTRIES_H
+
+#include "stm/StmWord.h"
+
+#include <cstdint>
+
+namespace otm {
+namespace stm {
+
+class TxManager;
+class TxObject;
+
+/// One optimistic read enlistment.
+struct ReadEntry {
+  TxObject *Obj = nullptr;
+  WordValue Seen = 0;
+};
+
+/// One exclusive update enlistment. The owned object's STM word encodes a
+/// tagged pointer to this entry.
+struct UpdateEntry {
+  TxObject *Obj = nullptr;
+  WordValue PrevWord = 0;
+  TxManager *Owner = nullptr;
+};
+
+/// One overwritten location. Restore is a type-aware thunk so that undo
+/// replay performs a correctly typed (relaxed atomic) store.
+struct UndoEntry {
+  void *Addr = nullptr;
+  uint64_t Bits = 0;
+  void (*Restore)(void *Addr, uint64_t Bits) = nullptr;
+};
+
+/// One object allocated inside the transaction (freed on abort), or — when
+/// FreeOnCommit is true — an object the transaction logically deleted
+/// (retired to the epoch reclaimer on commit, kept on abort). Raw is the
+/// most-derived pointer matching Destroy's expectation.
+struct AllocEntry {
+  TxObject *Obj = nullptr;
+  void *Raw = nullptr;
+  void (*Destroy)(void *Raw) = nullptr;
+  bool FreeOnCommit = false;
+};
+
+} // namespace stm
+} // namespace otm
+
+#endif // OTM_STM_LOGENTRIES_H

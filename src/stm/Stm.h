@@ -1,0 +1,91 @@
+//===- stm/Stm.h - Public STM entry points ----------------------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public face of the direct-update STM: Stm::atomic runs a lambda as a
+/// transaction with automatic retry, which is what an `atomic { ... }`
+/// block lowers to. Inside the lambda the TxManager exposes the decomposed
+/// barriers that the compiler (or careful hand-written code) places.
+///
+/// \code
+///   otm::stm::Stm::atomic([&](otm::stm::TxManager &Tx) {
+///     Tx.openForUpdate(Account);
+///     Tx.logUndo(&Account->Balance);
+///     Account->Balance.store(Account->Balance.load() + Amount);
+///   });
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_STM_STM_H
+#define OTM_STM_STM_H
+
+#include "stm/Field.h"
+#include "stm/TxManager.h"
+#include "stm/TxObject.h"
+#include "stm/TxStats.h"
+#include "support/Backoff.h"
+
+#include <utility>
+
+namespace otm {
+namespace stm {
+
+class Stm {
+public:
+  /// Runs \p Fn transactionally with automatic conflict retry. Nested calls
+  /// are flattened into the enclosing transaction (subsumption). \p Fn must
+  /// be safe to re-execute; all its transactional effects are rolled back
+  /// before a retry.
+  template <typename FnType> static void atomic(FnType &&Fn) {
+    TxManager &Tx = TxManager::current();
+    if (Tx.inTx()) {
+      Fn(Tx); // flattening: conflicts unwind to the outermost retry loop
+      return;
+    }
+    Backoff B(reinterpret_cast<uintptr_t>(&Tx) * 0x9e3779b97f4a7c15ULL);
+    for (;;) {
+      Tx.begin();
+      try {
+        Fn(Tx);
+        if (Tx.tryCommit())
+          return;
+      } catch (const AbortTx &Reason) {
+        Tx.rollbackAttempt(Reason.Why);
+        if (Reason.Why == AbortTx::Cause::User)
+          return; // explicit user abort: roll back and leave, do not retry
+      } catch (...) {
+        // A non-STM exception escaping the block aborts the transaction
+        // (failure atomicity) and propagates to the caller.
+        Tx.rollbackAttempt(AbortTx::Cause::User);
+        throw;
+      }
+      B.pause();
+    }
+  }
+
+  /// Runs \p Fn transactionally and returns its result.
+  template <typename FnType> static auto atomicResult(FnType &&Fn) {
+    using ResultType = decltype(Fn(std::declval<TxManager &>()));
+    ResultType Result{};
+    atomic([&](TxManager &Tx) { Result = Fn(Tx); });
+    return Result;
+  }
+
+  static TxConfig &config() { return TxManager::config(); }
+
+  /// Process-wide statistics (includes only flushed threads; benchmark
+  /// workers call TxManager::current().flushStats() before joining).
+  static TxStats globalStats() {
+    return GlobalTxStats::instance().snapshot();
+  }
+  static void resetGlobalStats() { GlobalTxStats::instance().reset(); }
+};
+
+} // namespace stm
+} // namespace otm
+
+#endif // OTM_STM_STM_H

@@ -1,0 +1,67 @@
+//===- stm/StmWord.h - Multiplexed per-object STM word ---------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encoding of the per-object *STM word*, the single word of metadata the
+/// paper attaches to every transactional object.
+///
+/// The word multiplexes two states:
+///   - low bit 0: the word holds the object's version number, `V << 1`.
+///     The object is not open for update by anyone.
+///   - low bit 1: the word holds `(UpdateEntry*) | 1` — the object is owned
+///     for update by the transaction whose update log contains that entry.
+///     The entry records the previous (version) word, so ownership release
+///     on abort restores it exactly and release on commit installs the
+///     incremented version.
+///
+/// Versions are 63-bit on LP64 and cannot realistically overflow (the paper
+/// needs overflow handling for its 29-bit header versions; we document the
+/// difference instead of reproducing it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_STM_STMWORD_H
+#define OTM_STM_STMWORD_H
+
+#include <cstdint>
+
+namespace otm {
+namespace stm {
+
+struct UpdateEntry;
+
+/// Raw value of an STM word.
+using WordValue = uintptr_t;
+
+inline constexpr WordValue OwnedBit = 1;
+
+/// True if the word encodes update ownership.
+inline bool isOwned(WordValue W) { return (W & OwnedBit) != 0; }
+
+/// Decodes the owning update-log entry; only valid when isOwned(W).
+inline UpdateEntry *ownerEntry(WordValue W) {
+  return reinterpret_cast<UpdateEntry *>(W & ~OwnedBit);
+}
+
+/// Encodes ownership by \p Entry.
+inline WordValue makeOwned(UpdateEntry *Entry) {
+  return reinterpret_cast<WordValue>(Entry) | OwnedBit;
+}
+
+/// Decodes a version number; only valid when !isOwned(W).
+inline uint64_t versionOf(WordValue W) {
+  return static_cast<uint64_t>(W >> 1);
+}
+
+/// Encodes version number \p V.
+inline WordValue makeVersion(uint64_t V) {
+  return static_cast<WordValue>(V << 1);
+}
+
+} // namespace stm
+} // namespace otm
+
+#endif // OTM_STM_STMWORD_H

@@ -1,0 +1,38 @@
+//===- stm/TxConfig.h - Runtime configuration of the STM -------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime knobs of the STM. The benchmarks flip these to isolate the
+/// contribution of each mechanism (e.g. runtime log filtering on/off is the
+/// E5 axis). Configuration is sampled when a transaction begins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_STM_TXCONFIG_H
+#define OTM_STM_TXCONFIG_H
+
+namespace otm {
+namespace stm {
+
+struct TxConfig {
+  /// Filter duplicate read-log enlistments with a per-transaction hash set.
+  bool FilterReads = true;
+
+  /// Filter duplicate undo-log entries with a per-transaction hash set.
+  bool FilterUndo = true;
+
+  /// Spin iterations on an open-for-update / open-for-read ownership
+  /// conflict before aborting the attacker.
+  unsigned ConflictSpins = 128;
+
+  /// Cap on commit attempts before atomic() escalates backoff to yields.
+  unsigned SoftRetryLimit = 16;
+};
+
+} // namespace stm
+} // namespace otm
+
+#endif // OTM_STM_TXCONFIG_H

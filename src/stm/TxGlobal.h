@@ -1,0 +1,54 @@
+//===- stm/TxGlobal.h - Surrogate objects for global state -----*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's object-granularity STM covers static/global variables by
+/// mapping each one onto a heap *surrogate* object whose STM word stands in
+/// for the variable. TxGlobal<T> is that surrogate: a one-field
+/// transactional object with get/set barriers, usable at namespace scope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_STM_TXGLOBAL_H
+#define OTM_STM_TXGLOBAL_H
+
+#include "stm/Field.h"
+#include "stm/TxManager.h"
+#include "stm/TxObject.h"
+
+namespace otm {
+namespace stm {
+
+template <typename T> class TxGlobal : public TxObject {
+public:
+  TxGlobal() = default;
+  explicit TxGlobal(T Initial) : Value(Initial) {}
+
+  /// Transactional read (open-for-read barrier + direct load).
+  T get(TxManager &Tx) {
+    Tx.openForRead(this);
+    return Value.load();
+  }
+
+  /// Transactional write (open-for-update + undo log + in-place store).
+  void set(TxManager &Tx, T NewValue) {
+    Tx.openForUpdate(this);
+    Tx.logUndo(&Value);
+    Value.store(NewValue);
+  }
+
+  /// Non-transactional initialization/inspection (single-threaded phases).
+  T unsafeGet() const { return Value.load(); }
+  void unsafeSet(T NewValue) { Value.store(NewValue); }
+
+  /// Exposed for decomposed access after a manual open.
+  Field<T> Value;
+};
+
+} // namespace stm
+} // namespace otm
+
+#endif // OTM_STM_TXGLOBAL_H

@@ -1,0 +1,198 @@
+//===- stm/TxManager.cpp - Decomposed direct-access STM ------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/TxManager.h"
+
+#include "gc/EpochManager.h"
+#include "stm/HashFilter.h"
+
+#include <thread>
+
+using namespace otm;
+using namespace otm::stm;
+
+namespace {
+
+/// Thread-local holder. TxManager instances are intentionally leaked: a
+/// zombie transaction on another thread may still dereference an
+/// UpdateEntry inside this manager's update log an instant after the owner
+/// released it, so the log storage must outlive the thread.
+struct TlsHolder {
+  TxManager *Manager = nullptr;
+  ~TlsHolder();
+};
+
+} // namespace
+
+TxManager &TxManager::current() {
+  static thread_local TlsHolder Holder;
+  if (OTM_UNLIKELY(!Holder.Manager))
+    Holder.Manager = new TxManager();
+  return *Holder.Manager;
+}
+
+TlsHolder::~TlsHolder() {
+  if (Manager)
+    Manager->flushStats();
+}
+
+TxConfig &TxManager::config() {
+  static TxConfig Config;
+  return Config;
+}
+
+void TxManager::begin() {
+  if (Depth++ != 0)
+    return; // flattened nested transaction
+  ActiveConfig = config();
+  FilterReadsOn = ActiveConfig.FilterReads;
+  FilterUndoOn = ActiveConfig.FilterUndo;
+  assert(ReadLog.empty() && UpdateLog.empty() && UndoLog.empty() &&
+         AllocLog.empty() && "logs leaked from a previous attempt");
+  gc::EpochManager::global().pin();
+  ++Stats.Starts;
+}
+
+bool TxManager::validateEntry(const ReadEntry &Entry) const {
+  WordValue Cur = Entry.Obj->Word.load(std::memory_order_acquire);
+  if (Cur == Entry.Seen)
+    return !isOwned(Cur); // seen words are always unowned versions
+  if (isOwned(Cur)) {
+    // We may have upgraded the object to update ownership after reading it;
+    // that is consistent iff nobody committed in between.
+    const UpdateEntry *Owner = ownerEntry(Cur);
+    return Owner->Owner == this && Owner->PrevWord == Entry.Seen;
+  }
+  return false;
+}
+
+bool TxManager::validate() {
+  assert(inTx() && "validate outside a transaction");
+  for (std::size_t I = 0, E = ReadLog.size(); I != E; ++I)
+    if (OTM_UNLIKELY(!validateEntry(ReadLog[I])))
+      return false;
+  return true;
+}
+
+void TxManager::releaseOwnershipForCommit() {
+  UpdateLog.forEach([](UpdateEntry &Entry) {
+    WordValue NewWord = makeVersion(versionOf(Entry.PrevWord) + 1);
+    Entry.Obj->Word.store(NewWord, std::memory_order_release);
+  });
+}
+
+void TxManager::releaseOwnershipForAbort() {
+  UpdateLog.forEach([](UpdateEntry &Entry) {
+    Entry.Obj->Word.store(Entry.PrevWord, std::memory_order_release);
+  });
+}
+
+void TxManager::finishAttempt() {
+  ReadLog.clear();
+  UpdateLog.clear();
+  UndoLog.clear();
+  AllocLog.clear();
+  ReadFilter.clear();
+  UndoFilter.clear();
+  Depth = 0;
+  gc::EpochManager::global().unpin();
+}
+
+bool TxManager::tryCommit() {
+  assert(inTx() && "tryCommit outside a transaction");
+  if (Depth > 1) {
+    --Depth; // nested commit: the outermost decides
+    return true;
+  }
+
+  if (OTM_UNLIKELY(!validate())) {
+    ++Stats.AbortsOnValidation;
+    rollbackAttempt(AbortTx::Cause::Validation);
+    return false;
+  }
+
+  // Serialization point. Publish new versions; owned objects were
+  // exclusively ours, so each release makes one update atomically visible.
+  releaseOwnershipForCommit();
+  ++Stats.Commits;
+
+  // Deferred frees take effect only now that the deletion is committed;
+  // epoch-based retirement protects concurrent zombies still holding refs.
+  AllocLog.forEach([](AllocEntry &Entry) {
+    if (Entry.FreeOnCommit)
+      gc::EpochManager::global().retire(Entry.Raw, Entry.Destroy);
+  });
+  finishAttempt();
+  return true;
+}
+
+void TxManager::rollbackAttempt(AbortTx::Cause Why) {
+  assert(inTx() && "rollbackAttempt outside a transaction");
+  (void)Why;
+  // Undo in reverse so multiply-written locations get their oldest value
+  // back (only relevant when undo filtering is off and duplicates exist).
+  UndoLog.forEachReverse(
+      [](UndoEntry &Entry) { Entry.Restore(Entry.Addr, Entry.Bits); });
+  // Only after every old value is back in place may others see the object.
+  releaseOwnershipForAbort();
+  // Objects allocated by this attempt are garbage; retire via the epoch
+  // reclaimer because a concurrent zombie may still hold a reference that
+  // escaped through one of our (now undone) in-place stores.
+  AllocLog.forEach([](AllocEntry &Entry) {
+    if (!Entry.FreeOnCommit)
+      gc::EpochManager::global().retire(Entry.Raw, Entry.Destroy);
+  });
+  ++Stats.Aborts;
+  finishAttempt();
+}
+
+WordValue TxManager::waitForUnowned(TxObject *Obj) {
+  for (unsigned Spin = 0; Spin < ActiveConfig.ConflictSpins; ++Spin) {
+    WordValue W = Obj->Word.load(std::memory_order_acquire);
+    if (!isOwned(W))
+      return W;
+    if ((Spin & 31) == 31)
+      std::this_thread::yield(); // crucial on oversubscribed machines
+    else
+      cpuRelax();
+  }
+  ++Stats.AbortsOnConflict;
+  abortAndThrow(AbortTx::Cause::Conflict);
+}
+
+void TxManager::abortAndThrow(AbortTx::Cause Why) {
+  // Unwind first (user destructors run), then Stm::atomic's catch block
+  // calls rollbackAttempt.
+  throw AbortTx{Why};
+}
+
+void TxManager::userAbort() {
+  ++Stats.AbortsByUser;
+  abortAndThrow(AbortTx::Cause::User);
+}
+
+void TxManager::flushStats() {
+  GlobalTxStats::instance().add(Stats);
+  Stats.reset();
+}
+
+std::pair<std::size_t, std::size_t> TxManager::compactLogsForGc() {
+  assert(inTx() && "compactLogsForGc outside a transaction");
+  // Deduplicate the read log by object, keeping the first enlistment (if a
+  // later duplicate saw a different word the transaction is doomed anyway
+  // and validation will catch it).
+  HashFilter Seen;
+  std::size_t ReadsRemoved = ReadLog.removeIf([&](const ReadEntry &Entry) {
+    return !Seen.insert(reinterpret_cast<uintptr_t>(Entry.Obj));
+  });
+  // Deduplicate the undo log by address, keeping the first (oldest) value:
+  // replaying it restores the pre-transaction state.
+  Seen.clear();
+  std::size_t UndosRemoved = UndoLog.removeIf([&](const UndoEntry &Entry) {
+    return !Seen.insert(reinterpret_cast<uintptr_t>(Entry.Addr));
+  });
+  return {ReadsRemoved, UndosRemoved};
+}

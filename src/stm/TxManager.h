@@ -1,0 +1,291 @@
+//===- stm/TxManager.h - Decomposed direct-access STM interface -*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TxManager is the per-thread transaction manager and exposes the paper's
+/// *decomposed direct-access* STM interface:
+///
+/// \code
+///   TxManager &Tx = TxManager::current();   // GetTxManager()
+///   Tx.begin();                             // TxStart
+///   Tx.openForRead(Obj);                    // OpenForRead
+///   Tx.openForUpdate(Obj);                  // OpenForUpdate
+///   Tx.logUndo(&Obj->F);                    // LogForUndo
+///   Obj->F.store(V);                        // direct in-place store
+///   Tx.tryCommit();                         // TxCommit
+/// \endcode
+///
+/// Reads are optimistic and invisible (the seen STM word is logged and
+/// validated at commit); updates take eager ownership of the object by
+/// CASing its STM word to point at the transaction's update-log entry, and
+/// stores happen in place with old values recorded in an undo log. This is
+/// exactly the design whose barrier costs the paper's compiler
+/// optimizations attack: because opens and undo-logs are idempotent,
+/// explicit operations, the compiler (src/passes) removes redundant ones
+/// and the runtime hash filters (stm/HashFilter.h) catch the rest.
+///
+/// The combined read()/write() helpers are what *naive* lowering emits (one
+/// open per access); optimized code calls the decomposed operations
+/// directly and elides the duplicates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_STM_TXMANAGER_H
+#define OTM_STM_TXMANAGER_H
+
+#include "stm/Field.h"
+#include "stm/HashFilter.h"
+#include "stm/LogEntries.h"
+#include "stm/StmWord.h"
+#include "stm/TxConfig.h"
+#include "stm/TxObject.h"
+#include "stm/TxStats.h"
+#include "support/Backoff.h"
+#include "support/ChunkedVector.h"
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+namespace otm {
+namespace stm {
+
+/// Thrown (internally) when a transaction must abort and restart: ownership
+/// conflict, failed revalidation, or an explicit user abort. Caught by
+/// Stm::atomic's retry loop; user code should not catch it.
+struct AbortTx {
+  enum class Cause { Conflict, Validation, User };
+  Cause Why = Cause::Conflict;
+};
+
+class TxManager {
+public:
+  /// Returns the calling thread's transaction manager (the paper's
+  /// GetTxManager operation; creation is lazy and thread-local).
+  static TxManager &current();
+
+  /// Process-wide configuration; sampled at begin() of each transaction.
+  static TxConfig &config();
+
+  TxManager(const TxManager &) = delete;
+  TxManager &operator=(const TxManager &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Lifecycle
+  //===--------------------------------------------------------------------===
+
+  /// Starts a transaction. Nested calls are flattened (subsumption): only
+  /// the outermost begin/commit pair does real work.
+  void begin();
+
+  /// Attempts to commit the innermost begin(). For the outermost level,
+  /// validates the read log and either publishes (returns true) or rolls
+  /// back (returns false, caller must restart). Nested levels always
+  /// succeed.
+  bool tryCommit();
+
+  /// Explicitly aborts the current transaction attempt: rolls back all
+  /// in-place stores, releases ownership, frees transaction-local
+  /// allocations, and throws AbortTx to unwind to the retry loop.
+  [[noreturn]] void userAbort();
+
+  /// True between an outermost begin() and its commit/abort.
+  bool inTx() const { return Depth > 0; }
+  unsigned nestingDepth() const { return Depth; }
+
+  //===--------------------------------------------------------------------===
+  // Decomposed barriers (the unit the compiler optimizes)
+  //===--------------------------------------------------------------------===
+
+  /// Enlists \p Obj for optimistic reading. Idempotent; a transaction that
+  /// already owns the object for update skips logging entirely.
+  void openForRead(TxObject *Obj) {
+    assert(inTx() && "openForRead outside a transaction");
+    ++Stats.OpensForRead;
+    WordValue W = Obj->Word.load(std::memory_order_acquire);
+    if (OTM_UNLIKELY(isOwned(W))) {
+      if (ownerEntry(W)->Owner == this)
+        return; // we own it: reads are trivially consistent
+      W = waitForUnowned(Obj);
+    }
+    if (FilterReadsOn &&
+        !ReadFilter.insert(reinterpret_cast<uintptr_t>(Obj))) {
+      ++Stats.ReadsFiltered;
+      return;
+    }
+    ReadLog.emplaceBack(Obj, W);
+    ++Stats.ReadLogAppends;
+  }
+
+  /// Acquires exclusive update ownership of \p Obj (eager two-phase
+  /// locking). Idempotent. On conflict with another owner, spins briefly
+  /// and then aborts this transaction.
+  void openForUpdate(TxObject *Obj) {
+    assert(inTx() && "openForUpdate outside a transaction");
+    ++Stats.OpensForUpdate;
+    WordValue W = Obj->Word.load(std::memory_order_acquire);
+    for (;;) {
+      if (OTM_UNLIKELY(isOwned(W))) {
+        if (ownerEntry(W)->Owner == this)
+          return; // already ours
+        W = waitForUnowned(Obj);
+        continue;
+      }
+      UpdateEntry *Entry = UpdateLog.emplaceBack(Obj, W, this);
+      if (Obj->Word.compare_exchange_strong(W, makeOwned(Entry),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire))
+        return;
+      UpdateLog.popBack(); // lost the race; W holds the fresh word
+    }
+  }
+
+  /// Records the old value of \p F so an abort can restore it. Must be
+  /// called before the in-place store, on an object this transaction has
+  /// opened for update. Filtered dynamically unless disabled.
+  template <typename T> void logUndo(Field<T> *F) {
+    assert(inTx() && "logUndo outside a transaction");
+    if (FilterUndoOn && !UndoFilter.insert(reinterpret_cast<uintptr_t>(F))) {
+      ++Stats.UndosFiltered;
+      return;
+    }
+    UndoLog.emplaceBack(F, F->bitsForUndo(), &restoreField<T>);
+    ++Stats.UndoLogAppends;
+  }
+
+  /// Allocates a transaction-local object. If the transaction aborts the
+  /// object is destroyed; opens and undo logging on it are unnecessary
+  /// (the compiler's alloc-elision pass exploits exactly this).
+  template <typename T, typename... ArgTypes> T *allocInTx(ArgTypes &&...Args) {
+    T *Obj = new T(std::forward<ArgTypes>(Args)...);
+    recordAlloc(Obj);
+    return Obj;
+  }
+
+  /// Registers an externally allocated object as transaction-local.
+  template <typename T> void recordAlloc(T *Obj) {
+    assert(inTx() && "recordAlloc outside a transaction");
+    AllocLog.emplaceBack(static_cast<TxObject *>(Obj),
+                         static_cast<void *>(Obj),
+                         +[](void *P) { delete static_cast<T *>(P); },
+                         /*FreeOnCommit=*/false);
+    ++Stats.Allocations;
+  }
+
+  /// Logically deletes \p Obj: it is retired to the epoch reclaimer when
+  /// the transaction commits, and kept alive if it aborts. The caller must
+  /// have opened \p Obj for update (so no concurrent committer holds it).
+  template <typename T> void retireOnCommit(T *Obj) {
+    assert(inTx() && "retireOnCommit outside a transaction");
+    AllocLog.emplaceBack(static_cast<TxObject *>(Obj),
+                         static_cast<void *>(Obj),
+                         +[](void *P) { delete static_cast<T *>(P); },
+                         /*FreeOnCommit=*/true);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Combined barriers (what naive lowering emits, one open per access)
+  //===--------------------------------------------------------------------===
+
+  template <typename ObjType, typename T>
+  T read(ObjType *Obj, Field<T> ObjType::*Member) {
+    openForRead(Obj);
+    return (Obj->*Member).load();
+  }
+
+  template <typename ObjType, typename T>
+  void write(ObjType *Obj, Field<T> ObjType::*Member, T Value) {
+    openForUpdate(Obj);
+    logUndo(&(Obj->*Member));
+    (Obj->*Member).store(Value);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Validation
+  //===--------------------------------------------------------------------===
+
+  /// Re-checks the read log. Direct-update STM is not opaque: a doomed
+  /// transaction can observe inconsistent state, so long-running loops call
+  /// this periodically to bound zombie execution.
+  bool validate();
+
+  /// validate() or abort-and-restart.
+  void validateOrAbort() {
+    if (OTM_LIKELY(validate()))
+      return;
+    ++Stats.AbortsOnValidation;
+    abortAndThrow(AbortTx::Cause::Validation);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Statistics & introspection
+  //===--------------------------------------------------------------------===
+
+  TxStats &stats() { return Stats; }
+  /// Adds this thread's counters into the process aggregate and zeroes them.
+  void flushStats();
+
+  std::size_t readLogSizeForTesting() const { return ReadLog.size(); }
+  std::size_t updateLogSizeForTesting() const { return UpdateLog.size(); }
+  std::size_t undoLogSizeForTesting() const { return UndoLog.size(); }
+
+  /// Rolls the current attempt back (undo, release, free allocations).
+  /// Public so the retry loop can clean up after catching AbortTx thrown
+  /// from arbitrary user-frame depth.
+  void rollbackAttempt(AbortTx::Cause Why);
+
+  /// GC log-compaction hook (paper's GC integration): deduplicates read and
+  /// undo logs in place, as the collector does while logs are roots.
+  /// Returns (readEntriesRemoved, undoEntriesRemoved).
+  std::pair<std::size_t, std::size_t> compactLogsForGc();
+
+  /// GC root enumeration (paper's GC integration): visits every object the
+  /// current transaction has enlisted in its read, update or alloc logs.
+  template <typename FnType> void forEachEnlistedObject(FnType Fn) {
+    ReadLog.forEach([&](ReadEntry &Entry) { Fn(Entry.Obj); });
+    UpdateLog.forEach([&](UpdateEntry &Entry) { Fn(Entry.Obj); });
+    AllocLog.forEach([&](AllocEntry &Entry) { Fn(Entry.Obj); });
+  }
+
+private:
+  TxManager() = default;
+  friend class TxManagerTestPeer;
+
+  /// Spins while \p Obj is owned by another transaction; returns the
+  /// unowned word, or aborts this transaction after the spin budget.
+  WordValue waitForUnowned(TxObject *Obj);
+
+  [[noreturn]] void abortAndThrow(AbortTx::Cause Why);
+
+  bool validateEntry(const ReadEntry &Entry) const;
+  void releaseOwnershipForCommit();
+  void releaseOwnershipForAbort();
+  void finishAttempt();
+
+  template <typename T> static void restoreField(void *Addr, uint64_t Bits) {
+    static_cast<Field<T> *>(Addr)->restoreFromBits(Bits);
+  }
+
+  unsigned Depth = 0;
+  TxConfig ActiveConfig;
+  bool FilterReadsOn = true;
+  bool FilterUndoOn = true;
+
+  ChunkedVector<ReadEntry> ReadLog;
+  ChunkedVector<UpdateEntry> UpdateLog;
+  ChunkedVector<UndoEntry> UndoLog;
+  ChunkedVector<AllocEntry> AllocLog;
+  HashFilter ReadFilter;
+  HashFilter UndoFilter;
+
+  TxStats Stats;
+};
+
+} // namespace stm
+} // namespace otm
+
+#endif // OTM_STM_TXMANAGER_H

@@ -1,0 +1,53 @@
+//===- stm/TxObject.h - Base class of transactional objects ----*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TxObject is the base class of every object managed by the direct-update
+/// STM. It contributes exactly one word of metadata — the STM word — which
+/// is all the runtime needs for both optimistic read versioning and eager
+/// update locking (see stm/StmWord.h for the encoding).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_STM_TXOBJECT_H
+#define OTM_STM_TXOBJECT_H
+
+#include "stm/StmWord.h"
+
+#include <atomic>
+
+namespace otm {
+namespace stm {
+
+class TxManager;
+
+/// Base class for transactional objects (one STM word of overhead).
+class TxObject {
+public:
+  TxObject() : Word(makeVersion(0)) {}
+  TxObject(const TxObject &) = delete;
+  TxObject &operator=(const TxObject &) = delete;
+
+  /// Current version; asserts the object is not open for update. Intended
+  /// for tests and statistics, not for synchronization decisions.
+  uint64_t versionForTesting() const {
+    return versionOf(Word.load(std::memory_order_acquire));
+  }
+
+  /// True if some transaction currently owns this object for update.
+  bool isOpenForUpdate() const {
+    return isOwned(Word.load(std::memory_order_acquire));
+  }
+
+private:
+  friend class TxManager;
+  std::atomic<WordValue> Word;
+};
+
+} // namespace stm
+} // namespace otm
+
+#endif // OTM_STM_TXOBJECT_H

@@ -1,0 +1,132 @@
+//===- stm/TxStats.h - Transaction statistics -------------------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-thread transaction statistics, accumulated without atomics on the
+/// fast path and flushed into a process-wide aggregate on demand. These
+/// counters feed the dynamic-count tables (E5) and the contention study
+/// (E7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_STM_TXSTATS_H
+#define OTM_STM_TXSTATS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace otm {
+namespace stm {
+
+/// Plain counter block (per thread; no synchronization).
+struct TxStats {
+  uint64_t Starts = 0;
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+  uint64_t AbortsOnConflict = 0;   // open saw a foreign owner
+  uint64_t AbortsOnValidation = 0; // commit-time read validation failed
+  uint64_t AbortsByUser = 0;
+  uint64_t OpensForRead = 0;
+  uint64_t OpensForUpdate = 0;
+  uint64_t ReadLogAppends = 0;
+  uint64_t ReadsFiltered = 0;
+  uint64_t UndoLogAppends = 0;
+  uint64_t UndosFiltered = 0;
+  uint64_t Allocations = 0;
+
+  void reset() { *this = TxStats(); }
+
+  void add(const TxStats &O) {
+    Starts += O.Starts;
+    Commits += O.Commits;
+    Aborts += O.Aborts;
+    AbortsOnConflict += O.AbortsOnConflict;
+    AbortsOnValidation += O.AbortsOnValidation;
+    AbortsByUser += O.AbortsByUser;
+    OpensForRead += O.OpensForRead;
+    OpensForUpdate += O.OpensForUpdate;
+    ReadLogAppends += O.ReadLogAppends;
+    ReadsFiltered += O.ReadsFiltered;
+    UndoLogAppends += O.UndoLogAppends;
+    UndosFiltered += O.UndosFiltered;
+    Allocations += O.Allocations;
+  }
+};
+
+/// Process-wide aggregate, updated by TxManager::flushStats().
+class GlobalTxStats {
+public:
+  static GlobalTxStats &instance() {
+    static GlobalTxStats G;
+    return G;
+  }
+
+  void add(const TxStats &S) {
+    Starts.fetch_add(S.Starts, std::memory_order_relaxed);
+    Commits.fetch_add(S.Commits, std::memory_order_relaxed);
+    Aborts.fetch_add(S.Aborts, std::memory_order_relaxed);
+    AbortsOnConflict.fetch_add(S.AbortsOnConflict, std::memory_order_relaxed);
+    AbortsOnValidation.fetch_add(S.AbortsOnValidation,
+                                 std::memory_order_relaxed);
+    AbortsByUser.fetch_add(S.AbortsByUser, std::memory_order_relaxed);
+    OpensForRead.fetch_add(S.OpensForRead, std::memory_order_relaxed);
+    OpensForUpdate.fetch_add(S.OpensForUpdate, std::memory_order_relaxed);
+    ReadLogAppends.fetch_add(S.ReadLogAppends, std::memory_order_relaxed);
+    ReadsFiltered.fetch_add(S.ReadsFiltered, std::memory_order_relaxed);
+    UndoLogAppends.fetch_add(S.UndoLogAppends, std::memory_order_relaxed);
+    UndosFiltered.fetch_add(S.UndosFiltered, std::memory_order_relaxed);
+    Allocations.fetch_add(S.Allocations, std::memory_order_relaxed);
+  }
+
+  /// Snapshot into a plain TxStats block.
+  TxStats snapshot() const {
+    TxStats S;
+    S.Starts = Starts.load(std::memory_order_relaxed);
+    S.Commits = Commits.load(std::memory_order_relaxed);
+    S.Aborts = Aborts.load(std::memory_order_relaxed);
+    S.AbortsOnConflict = AbortsOnConflict.load(std::memory_order_relaxed);
+    S.AbortsOnValidation = AbortsOnValidation.load(std::memory_order_relaxed);
+    S.AbortsByUser = AbortsByUser.load(std::memory_order_relaxed);
+    S.OpensForRead = OpensForRead.load(std::memory_order_relaxed);
+    S.OpensForUpdate = OpensForUpdate.load(std::memory_order_relaxed);
+    S.ReadLogAppends = ReadLogAppends.load(std::memory_order_relaxed);
+    S.ReadsFiltered = ReadsFiltered.load(std::memory_order_relaxed);
+    S.UndoLogAppends = UndoLogAppends.load(std::memory_order_relaxed);
+    S.UndosFiltered = UndosFiltered.load(std::memory_order_relaxed);
+    S.Allocations = Allocations.load(std::memory_order_relaxed);
+    return S;
+  }
+
+  void reset() {
+    Starts = 0;
+    Commits = 0;
+    Aborts = 0;
+    AbortsOnConflict = 0;
+    AbortsOnValidation = 0;
+    AbortsByUser = 0;
+    OpensForRead = 0;
+    OpensForUpdate = 0;
+    ReadLogAppends = 0;
+    ReadsFiltered = 0;
+    UndoLogAppends = 0;
+    UndosFiltered = 0;
+    Allocations = 0;
+  }
+
+private:
+  std::atomic<uint64_t> Starts{0}, Commits{0}, Aborts{0};
+  std::atomic<uint64_t> AbortsOnConflict{0}, AbortsOnValidation{0},
+      AbortsByUser{0};
+  std::atomic<uint64_t> OpensForRead{0}, OpensForUpdate{0};
+  std::atomic<uint64_t> ReadLogAppends{0}, ReadsFiltered{0};
+  std::atomic<uint64_t> UndoLogAppends{0}, UndosFiltered{0};
+  std::atomic<uint64_t> Allocations{0};
+};
+
+} // namespace stm
+} // namespace otm
+
+#endif // OTM_STM_TXSTATS_H

@@ -1,0 +1,80 @@
+//===- support/Backoff.h - Randomized exponential backoff ------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized exponential backoff used by the STM retry loops and the lock
+/// baselines. On repeated conflicts a transaction sleeps for an increasing,
+/// jittered interval to break symmetric livelock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_SUPPORT_BACKOFF_H
+#define OTM_SUPPORT_BACKOFF_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace otm {
+
+/// A single CPU relax hint, usable inside spin loops.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Randomized truncated exponential backoff.
+///
+/// The first few rounds spin with pause instructions; later rounds yield the
+/// CPU so that on oversubscribed machines the conflicting peer can make
+/// progress (essential on single-core hosts).
+class Backoff {
+public:
+  explicit Backoff(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : Rng(Seed) {}
+
+  /// Waits for the current round's interval and escalates the next one.
+  void pause() {
+    uint64_t Limit = Rng.nextBelow(CurrentCap) + 1;
+    if (Round < SpinRounds) {
+      for (uint64_t I = 0; I < Limit; ++I)
+        cpuRelax();
+    } else {
+      // Oversubscribed or long conflict: let the other thread run.
+      std::this_thread::yield();
+    }
+    ++Round;
+    if (CurrentCap < MaxCap)
+      CurrentCap *= 2;
+  }
+
+  void reset() {
+    Round = 0;
+    CurrentCap = InitialCap;
+  }
+
+  unsigned rounds() const { return Round; }
+
+private:
+  static constexpr uint64_t InitialCap = 32;
+  static constexpr uint64_t MaxCap = 64 * 1024;
+  static constexpr unsigned SpinRounds = 4;
+
+  Xoshiro256 Rng;
+  unsigned Round = 0;
+  uint64_t CurrentCap = InitialCap;
+};
+
+} // namespace otm
+
+#endif // OTM_SUPPORT_BACKOFF_H

@@ -1,0 +1,107 @@
+//===- support/ChunkedVector.h - Stable-address append log -----*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An append-only vector that allocates fixed-size chunks so that elements
+/// never move. The STM update log requires stable addresses: an object's STM
+/// word points directly at its update-log entry while the transaction owns
+/// it, so the entry must not be relocated by a push_back of a later entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_SUPPORT_CHUNKEDVECTOR_H
+#define OTM_SUPPORT_CHUNKEDVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace otm {
+
+template <typename T, std::size_t ChunkSize = 256> class ChunkedVector {
+public:
+  ChunkedVector() = default;
+  ChunkedVector(const ChunkedVector &) = delete;
+  ChunkedVector &operator=(const ChunkedVector &) = delete;
+
+  /// Appends a value and returns a pointer that remains valid until clear().
+  template <typename... ArgTypes> T *emplaceBack(ArgTypes &&...Args) {
+    std::size_t Chunk = Count / ChunkSize;
+    std::size_t Offset = Count % ChunkSize;
+    if (Chunk == Chunks.size())
+      Chunks.push_back(std::make_unique<T[]>(ChunkSize));
+    T *Slot = &Chunks[Chunk][Offset];
+    *Slot = T(std::forward<ArgTypes>(Args)...);
+    ++Count;
+    return Slot;
+  }
+
+  /// Logically empties the log. Chunk storage is retained for reuse so that
+  /// steady-state transactions allocate nothing.
+  void clear() { Count = 0; }
+
+  /// Removes the most recently appended entry.
+  void popBack() {
+    assert(Count > 0 && "popBack on empty log");
+    --Count;
+  }
+
+  T &back() {
+    assert(Count > 0 && "back on empty log");
+    return (*this)[Count - 1];
+  }
+
+  std::size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  T &operator[](std::size_t Index) {
+    assert(Index < Count && "index out of range");
+    return Chunks[Index / ChunkSize][Index % ChunkSize];
+  }
+
+  const T &operator[](std::size_t Index) const {
+    assert(Index < Count && "index out of range");
+    return Chunks[Index / ChunkSize][Index % ChunkSize];
+  }
+
+  /// Iterates over entries in insertion order.
+  template <typename FnType> void forEach(FnType Fn) {
+    for (std::size_t I = 0; I < Count; ++I)
+      Fn((*this)[I]);
+  }
+
+  /// Iterates over entries in reverse insertion order (undo replay order).
+  template <typename FnType> void forEachReverse(FnType Fn) {
+    for (std::size_t I = Count; I > 0; --I)
+      Fn((*this)[I - 1]);
+  }
+
+  /// Keeps only the entries for which \p Pred returns true, preserving
+  /// insertion order. Used by the GC log-compaction hooks.
+  template <typename PredType> std::size_t removeIf(PredType Pred) {
+    std::size_t Kept = 0;
+    for (std::size_t I = 0; I < Count; ++I) {
+      T &Entry = (*this)[I];
+      if (Pred(Entry))
+        continue;
+      if (Kept != I)
+        (*this)[Kept] = Entry;
+      ++Kept;
+    }
+    std::size_t Removed = Count - Kept;
+    Count = Kept;
+    return Removed;
+  }
+
+private:
+  std::vector<std::unique_ptr<T[]>> Chunks;
+  std::size_t Count = 0;
+};
+
+} // namespace otm
+
+#endif // OTM_SUPPORT_CHUNKEDVECTOR_H

@@ -1,0 +1,45 @@
+//===- support/Compiler.h - Compiler portability helpers -------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler portability macros used across the otm libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_SUPPORT_COMPILER_H
+#define OTM_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define OTM_LIKELY(x) __builtin_expect(!!(x), 1)
+#define OTM_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define OTM_NOINLINE __attribute__((noinline))
+#define OTM_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define OTM_LIKELY(x) (x)
+#define OTM_UNLIKELY(x) (x)
+#define OTM_NOINLINE
+#define OTM_ALWAYS_INLINE inline
+#endif
+
+namespace otm {
+
+/// Marks a point in the program that is provably unreachable; aborts with a
+/// message in all build modes (the STM must never silently corrupt state).
+[[noreturn]] inline void unreachable(const char *Msg, const char *File,
+                                     int Line) {
+  std::fprintf(stderr, "otm: unreachable executed: %s (%s:%d)\n", Msg, File,
+               Line);
+  std::abort();
+}
+
+} // namespace otm
+
+#define OTM_UNREACHABLE(Msg) ::otm::unreachable(Msg, __FILE__, __LINE__)
+
+#endif // OTM_SUPPORT_COMPILER_H

@@ -1,0 +1,84 @@
+//===- support/Random.h - Deterministic fast PRNGs -------------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generators used by the benchmarks and
+/// property tests. Both generators are seedable so every experiment is
+/// reproducible run to run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_SUPPORT_RANDOM_H
+#define OTM_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace otm {
+
+/// SplitMix64: used to expand a single seed into well-distributed state.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256**: the workhorse generator for workload drivers.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (uint64_t &Word : State)
+      Word = SM.next();
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be positive");
+    // Multiplicative range reduction; bias is negligible for 64-bit input.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns true with probability Percent/100.
+  bool nextPercent(unsigned Percent) { return nextBelow(100) < Percent; }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace otm
+
+#endif // OTM_SUPPORT_RANDOM_H

@@ -1,0 +1,51 @@
+//===- support/ThreadBarrier.h - Reusable thread barrier -------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable barrier used by the benchmark drivers to start all worker
+/// threads at the same instant, so that per-thread throughput numbers
+/// measure the same contention window.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_SUPPORT_THREADBARRIER_H
+#define OTM_SUPPORT_THREADBARRIER_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace otm {
+
+class ThreadBarrier {
+public:
+  explicit ThreadBarrier(std::size_t Count) : Threshold(Count) {}
+
+  /// Blocks until Count threads have arrived; then all are released and the
+  /// barrier resets for the next use.
+  void arriveAndWait() {
+    std::unique_lock<std::mutex> Lock(M);
+    std::size_t MyGeneration = Generation;
+    if (++Arrived == Threshold) {
+      ++Generation;
+      Arrived = 0;
+      CV.notify_all();
+      return;
+    }
+    CV.wait(Lock, [&] { return Generation != MyGeneration; });
+  }
+
+private:
+  std::mutex M;
+  std::condition_variable CV;
+  std::size_t Threshold;
+  std::size_t Arrived = 0;
+  std::size_t Generation = 0;
+};
+
+} // namespace otm
+
+#endif // OTM_SUPPORT_THREADBARRIER_H

@@ -1,0 +1,72 @@
+//===- tmir/AtomicRegions.cpp - Transaction region membership -------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tmir/AtomicRegions.h"
+
+using namespace otm;
+using namespace otm::tmir;
+
+AtomicRegions::AtomicRegions(const Function &F) : F(F) {
+  EntryState.assign(F.Blocks.size(), -1);
+  std::vector<int> Work;
+  EntryState[F.Blocks.front()->Id] = 0;
+  Work.push_back(F.Blocks.front()->Id);
+
+  while (!Work.empty() && Error.empty()) {
+    int Id = Work.back();
+    Work.pop_back();
+    const BasicBlock &BB = *F.Blocks[Id];
+    int8_t State = EntryState[Id];
+    for (const Instr &I : BB.Instrs) {
+      if (I.Op == Opcode::AtomicBegin) {
+        if (State == 1) {
+          Error = "function " + F.Name + ": nested atomic_begin in block " +
+                  BB.Name + " (flattening happens through calls, not "
+                  "textual nesting)";
+          return;
+        }
+        State = 1;
+        AnyAtomic = true;
+      } else if (I.Op == Opcode::AtomicEnd) {
+        if (State != 1) {
+          Error = "function " + F.Name + ": atomic_end outside a region in " +
+                  BB.Name;
+          return;
+        }
+        State = 0;
+      } else if (I.Op == Opcode::Ret && State == 1) {
+        Error = "function " + F.Name + ": return inside atomic region in " +
+                BB.Name;
+        return;
+      }
+    }
+    for (int Succ : BB.successors()) {
+      if (EntryState[Succ] == -1) {
+        EntryState[Succ] = State;
+        Work.push_back(Succ);
+      } else if (EntryState[Succ] != State) {
+        Error = "function " + F.Name + ": block " + F.Blocks[Succ]->Name +
+                " is reached both inside and outside an atomic region";
+        return;
+      }
+    }
+  }
+}
+
+bool AtomicRegions::inAtomic(int BlockId, std::size_t InstrIdx) const {
+  int8_t State = EntryState[BlockId];
+  if (State == -1)
+    return false; // unreachable
+  const BasicBlock &BB = *F.Blocks[BlockId];
+  for (std::size_t I = 0; I <= InstrIdx && I < BB.Instrs.size(); ++I) {
+    if (BB.Instrs[I].Op == Opcode::AtomicBegin)
+      State = 1;
+    else if (BB.Instrs[I].Op == Opcode::AtomicEnd && I < InstrIdx)
+      State = 0;
+  }
+  return State == 1;
+}
+

@@ -1,0 +1,60 @@
+//===- tmir/AtomicRegions.h - Transaction region membership ----*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes, for every instruction position, whether it executes inside an
+/// atomic region (between AtomicBegin and AtomicEnd), by forward dataflow
+/// over the CFG. Functions must be *consistent*: every join point is
+/// reached with a single in-atomic state and regions do not nest textually
+/// (dynamic nesting happens through calls and is flattened by the runtime).
+///
+/// Barrier passes use this to restrict their transforms to transactional
+/// code, and the tx-cloning pass uses it to find call sites that need the
+/// transactional clone of their callee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_TMIR_ATOMICREGIONS_H
+#define OTM_TMIR_ATOMICREGIONS_H
+
+#include "tmir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace otm {
+namespace tmir {
+
+class AtomicRegions {
+public:
+  /// Analyzes \p F; check valid() before using the queries.
+  explicit AtomicRegions(const Function &F);
+
+  bool valid() const { return Error.empty(); }
+  const std::string &error() const { return Error; }
+
+  /// True if block \p BlockId begins while inside an atomic region.
+  bool inAtomicAtEntry(int BlockId) const { return EntryState[BlockId] == 1; }
+
+  /// True if instruction \p InstrIdx of \p BlockId executes transactionally
+  /// (AtomicBegin itself counts as inside; AtomicEnd as inside).
+  bool inAtomic(int BlockId, std::size_t InstrIdx) const;
+
+  /// True if the whole function body is inside atomic regions wherever it
+  /// has any transactional instruction at all.
+  bool hasAtomic() const { return AnyAtomic; }
+
+private:
+  const Function &F;
+  std::vector<int8_t> EntryState; ///< -1 unknown, 0 outside, 1 inside
+  bool AnyAtomic = false;
+  std::string Error;
+};
+
+} // namespace tmir
+} // namespace otm
+
+#endif // OTM_TMIR_ATOMICREGIONS_H

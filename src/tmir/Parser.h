@@ -1,0 +1,56 @@
+//===- tmir/Parser.h - Textual TMIR parser ----------------------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form of TMIR (the format printModule emits; the two
+/// round-trip). Example:
+///
+/// \code
+///   class Node { key: i64, next: Node }
+///
+///   func sum(head: Node): i64 {
+///     var acc: i64
+///   entry:
+///     storelocal acc, 0
+///     br loop
+///   loop:
+///     %c = loadlocal head
+///     %done = cmpeq %c, null
+///     condbr %done, exit, body
+///   body:
+///     atomic_begin
+///     %k = getfield %c, Node.key
+///     atomic_end
+///     ...
+///   }
+/// \endcode
+///
+/// Functions and classes may be referenced before their definition; blocks
+/// are referenced by label. Errors carry a line number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_TMIR_PARSER_H
+#define OTM_TMIR_PARSER_H
+
+#include "tmir/IR.h"
+
+#include <string>
+
+namespace otm {
+namespace tmir {
+
+/// Parses \p Text into \p M. Returns true on success; on failure returns
+/// false and sets \p Error to a "line N: message" diagnostic.
+bool parseModule(const std::string &Text, Module &M, std::string &Error);
+
+/// Convenience for tests: parses or aborts with the diagnostic.
+Module parseModuleOrDie(const std::string &Text);
+
+} // namespace tmir
+} // namespace otm
+
+#endif // OTM_TMIR_PARSER_H

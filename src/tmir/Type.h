@@ -1,0 +1,82 @@
+//===- tmir/Type.h - TMIR type system ---------------------------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types of the transactional IR: 64-bit integers, booleans, references to
+/// declared classes, and arrays of i64. Object references are what the STM
+/// barriers operate on; the type checker guarantees barriers only ever see
+/// reference-typed operands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_TMIR_TYPE_H
+#define OTM_TMIR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace otm {
+namespace tmir {
+
+enum class TypeKind : uint8_t {
+  Void,
+  I64,
+  I1,
+  Obj, ///< reference to an instance of ClassId
+  Arr, ///< reference to an i64 array
+};
+
+/// A TMIR type; Obj types carry the index of their class in the Module.
+class Type {
+public:
+  Type() : Kind(TypeKind::Void), ClassId(-1) {}
+
+  static Type makeVoid() { return Type(TypeKind::Void, -1); }
+  static Type makeI64() { return Type(TypeKind::I64, -1); }
+  static Type makeI1() { return Type(TypeKind::I1, -1); }
+  static Type makeArr() { return Type(TypeKind::Arr, -1); }
+  static Type makeObj(int ClassId) {
+    assert(ClassId >= 0 && "object type needs a class");
+    return Type(TypeKind::Obj, ClassId);
+  }
+
+  TypeKind kind() const { return Kind; }
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isI64() const { return Kind == TypeKind::I64; }
+  bool isI1() const { return Kind == TypeKind::I1; }
+  bool isArr() const { return Kind == TypeKind::Arr; }
+  bool isObj() const { return Kind == TypeKind::Obj; }
+  /// True for types the STM must track (anything holding a reference).
+  bool isRef() const { return isObj() || isArr(); }
+
+  int classId() const {
+    assert(isObj() && "classId on non-object type");
+    return ClassId;
+  }
+
+  bool operator==(const Type &O) const {
+    return Kind == O.Kind && (Kind != TypeKind::Obj || ClassId == O.ClassId);
+  }
+  bool operator!=(const Type &O) const { return !(*this == O); }
+
+  /// Reference compatibility: null (typed as Obj with ClassId -1 is not
+  /// representable; the checker treats null as compatible with any ref).
+  bool acceptsNullOr(const Type &O) const {
+    return *this == O || (isRef() && O.isRef() && O.ClassId == -2);
+  }
+
+private:
+  Type(TypeKind Kind, int ClassId) : Kind(Kind), ClassId(ClassId) {}
+
+  TypeKind Kind;
+  int ClassId;
+};
+
+} // namespace tmir
+} // namespace otm
+
+#endif // OTM_TMIR_TYPE_H

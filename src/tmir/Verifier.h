@@ -1,0 +1,41 @@
+//===- tmir/Verifier.h - TMIR structural & type verifier -------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifies a module and fills in register types:
+///  - every block ends in exactly one terminator (and none mid-block);
+///  - every register has exactly one defining instruction and every use
+///    refers to a defined register;
+///  - all operands are type-correct (including barrier operands being
+///    references and undo-log field references matching their class);
+///  - calls match the callee's signature; returns match the function type.
+///
+/// Passes are expected to leave the module verifier-clean; every pass test
+/// re-verifies after running the pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_TMIR_VERIFIER_H
+#define OTM_TMIR_VERIFIER_H
+
+#include "tmir/IR.h"
+
+#include <string>
+
+namespace otm {
+namespace tmir {
+
+/// Verifies \p M and computes Function::RegTypes. Returns true if valid;
+/// otherwise fills \p Error with a diagnostic.
+bool verifyModule(Module &M, std::string &Error);
+
+/// Convenience for tests and tools: aborts with the diagnostic on failure.
+void verifyModuleOrDie(Module &M);
+
+} // namespace tmir
+} // namespace otm
+
+#endif // OTM_TMIR_VERIFIER_H

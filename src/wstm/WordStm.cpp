@@ -1,0 +1,150 @@
+//===- wstm/WordStm.cpp - TL2-style word-based STM -----------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wstm/WordStm.h"
+
+#include <algorithm>
+
+using namespace otm;
+using namespace otm::wstm;
+
+WTxManager &WTxManager::current() {
+  // Leaked per-thread descriptor (same rationale as stm::TxManager).
+  static thread_local WTxManager *Tx = nullptr;
+  if (OTM_UNLIKELY(!Tx))
+    Tx = new WTxManager();
+  return *Tx;
+}
+
+std::atomic<uint64_t> &WTxManager::clock() {
+  static std::atomic<uint64_t> Clock{0};
+  return Clock;
+}
+
+bool WTxManager::tryCommit() {
+  assert(inTx() && "tryCommit outside transaction");
+  if (Depth > 1) {
+    --Depth;
+    return true;
+  }
+
+  // Read-only fast path: every read was validated against ReadVersion when
+  // it happened, so the snapshot is already consistent. Deferred frees
+  // still take effect — a committed transaction may delete without writing.
+  if (Writes.empty()) {
+    Allocs.forEach([](AllocRecord &R) {
+      if (R.FreeOnCommit)
+        gc::EpochManager::global().retire(R.Raw, R.Destroy);
+    });
+    ++Stats.Commits;
+    finish();
+    return true;
+  }
+
+  // Phase 1: lock the write set. Stripes are deduplicated and locked in
+  // table order, which makes the locking phase deadlock-free.
+  LockOrder.clear();
+  Writes.forEach([&](WriteSet::Entry &E) {
+    LockOrder.push_back(&LockTable::global().lockFor(E.Addr));
+  });
+  std::sort(LockOrder.begin(), LockOrder.end());
+  LockOrder.erase(std::unique(LockOrder.begin(), LockOrder.end()),
+                  LockOrder.end());
+
+  uintptr_t OwnerTag = reinterpret_cast<uintptr_t>(this) & ~uintptr_t(1);
+  std::size_t Acquired = 0;
+  for (VersionedLock *Lock : LockOrder) {
+    uint64_t Saved;
+    unsigned Spins = 0;
+    while (!Lock->tryLock(Saved, OwnerTag)) {
+      if (++Spins > 128) {
+        unlockFirstN(Acquired);
+        ++Stats.AbortsOnConflict;
+        rollbackAttempt();
+        return false;
+      }
+      cpuRelax();
+    }
+    // Saved is already a decoded version number (tryLock strips the lock
+    // encoding). This pre-lock check is the only witness of commits that
+    // happened to this stripe while we slept: once we own the lock, the
+    // read-set validation below exempts self-owned stripes.
+    if (Saved > ReadVersion) {
+      Lock->unlockToVersion(Saved);
+      unlockFirstN(Acquired);
+      ++Stats.AbortsOnValidation;
+      rollbackAttempt();
+      return false;
+    }
+    SavedVersions.push_back(Saved);
+    ++Acquired;
+  }
+
+  // Phase 2: advance the clock and validate the read set.
+  uint64_t WriteVersion = clock().fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (WriteVersion != ReadVersion + 1) { // else nothing else committed
+    bool Valid = true;
+    ReadSet.forEach([&](VersionedLock *Lock) {
+      uint64_t W = Lock->load();
+      if (VersionedLock::isLocked(W)) {
+        // Locked by us is fine (we hold write locks); by others is not.
+        if ((W & ~uint64_t(1)) != OwnerTag)
+          Valid = false;
+      } else if (VersionedLock::versionOf(W) > ReadVersion) {
+        Valid = false;
+      }
+    });
+    if (!Valid) {
+      for (std::size_t I = 0; I < Acquired; ++I)
+        LockOrder[I]->unlockToVersion(SavedVersions[I]);
+      SavedVersions.clear();
+      ++Stats.AbortsOnValidation;
+      rollbackAttempt();
+      return false;
+    }
+  }
+
+  // Phase 3: write back and release with the new version.
+  Writes.applyAll();
+  for (VersionedLock *Lock : LockOrder)
+    Lock->unlockToVersion(WriteVersion);
+  SavedVersions.clear();
+
+  Allocs.forEach([](AllocRecord &R) {
+    if (R.FreeOnCommit)
+      gc::EpochManager::global().retire(R.Raw, R.Destroy);
+  });
+  ++Stats.Commits;
+  finish();
+  return true;
+}
+
+void WTxManager::rollbackAttempt() {
+  assert(inTx() && "rollbackAttempt outside transaction");
+  // Writes were buffered, so memory is untouched; just drop the logs and
+  // free this attempt's allocations.
+  Allocs.forEach([](AllocRecord &R) {
+    if (!R.FreeOnCommit)
+      gc::EpochManager::global().retire(R.Raw, R.Destroy);
+  });
+  ++Stats.Aborts;
+  finish();
+}
+
+void WTxManager::unlockFirstN(std::size_t N) {
+  for (std::size_t I = 0; I < N; ++I)
+    LockOrder[I]->unlockToVersion(SavedVersions[I]);
+  SavedVersions.clear();
+}
+
+void WTxManager::finish() {
+  Writes.clear();
+  ReadSet.clear();
+  Allocs.clear();
+  LockOrder.clear();
+  Depth = 0;
+  gc::EpochManager::global().unpin();
+}

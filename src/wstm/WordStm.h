@@ -1,0 +1,201 @@
+//===- wstm/WordStm.h - TL2-style word-based STM baseline ------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A word-granularity STM in the TL2 style: global version clock, striped
+/// versioned write locks, per-read validation against the transaction's
+/// read version, lazy (buffered) writes applied at commit under the locks.
+///
+/// This is the *baseline* the paper's object-based direct-update STM is
+/// compared against (experiment E2): every word-sized access pays a barrier
+/// and a lock-table probe, whereas the object STM amortizes one open over
+/// all accesses to the object's fields.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_WSTM_WORDSTM_H
+#define OTM_WSTM_WORDSTM_H
+
+#include "gc/EpochManager.h"
+#include "stm/Field.h"
+#include "stm/TxStats.h"
+#include "support/Backoff.h"
+#include "support/ChunkedVector.h"
+#include "support/Compiler.h"
+#include "wstm/VersionedLock.h"
+#include "wstm/WriteSet.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace otm {
+namespace wstm {
+
+/// Word-based transactional cell; reuses stm::Field's relaxed-atomic
+/// storage so the two STMs can share container layouts.
+template <typename T> using WCell = stm::Field<T>;
+
+/// Thrown on conflict; caught by WordStm::atomic.
+struct WAbort {};
+
+/// Per-thread word-STM transaction descriptor.
+class WTxManager {
+public:
+  static WTxManager &current();
+
+  /// Global version clock shared by all word-STM transactions.
+  static std::atomic<uint64_t> &clock();
+
+  void begin() {
+    if (Depth++ != 0)
+      return;
+    ReadVersion = clock().load(std::memory_order_acquire);
+    gc::EpochManager::global().pin();
+    ++Stats.Starts;
+  }
+
+  /// TL2 read barrier: pre-validate lock, load, post-validate lock.
+  template <typename T> T read(const WCell<T> &Cell) {
+    assert(inTx() && "wstm read outside transaction");
+    ++Stats.OpensForRead;
+    uint64_t Buffered;
+    if (!Writes.empty() && Writes.lookup(&Cell, Buffered))
+      return fromBits<T>(Buffered); // read-own-write
+    VersionedLock &Lock = LockTable::global().lockFor(&Cell);
+    uint64_t L1 = Lock.load();
+    if (OTM_UNLIKELY(VersionedLock::isLocked(L1) ||
+                     VersionedLock::versionOf(L1) > ReadVersion))
+      abortAndThrow();
+    T Value = Cell.load();
+    uint64_t L2 = Lock.load();
+    if (OTM_UNLIKELY(L1 != L2))
+      abortAndThrow();
+    ReadSet.emplaceBack(&Lock);
+    ++Stats.ReadLogAppends;
+    return Value;
+  }
+
+  /// TL2 write barrier: buffer the value in the redo log.
+  template <typename T> void write(WCell<T> &Cell, T Value) {
+    assert(inTx() && "wstm write outside transaction");
+    ++Stats.OpensForUpdate;
+    Writes.put(&Cell, toBits(Value), &applyCell<T>);
+  }
+
+  /// Registers a transaction-locally allocated object (deleted on abort).
+  template <typename T> void recordAlloc(T *Obj) {
+    Allocs.emplaceBack(static_cast<void *>(Obj),
+                       +[](void *P) { delete static_cast<T *>(P); },
+                       /*FreeOnCommit=*/false);
+    ++Stats.Allocations;
+  }
+
+  /// Defers deletion of \p Obj to a successful commit (epoch-retired).
+  template <typename T> void retireOnCommit(T *Obj) {
+    Allocs.emplaceBack(static_cast<void *>(Obj),
+                       +[](void *P) { delete static_cast<T *>(P); },
+                       /*FreeOnCommit=*/true);
+  }
+
+  bool tryCommit();
+
+  /// Rolls back the attempt (discard redo log, free allocations).
+  void rollbackAttempt();
+
+  bool inTx() const { return Depth > 0; }
+
+  stm::TxStats &stats() { return Stats; }
+  void flushStats() {
+    stm::GlobalTxStats::instance().add(Stats);
+    Stats.reset();
+  }
+
+private:
+  WTxManager() = default;
+
+  [[noreturn]] void abortAndThrow() {
+    ++Stats.AbortsOnValidation;
+    throw WAbort{};
+  }
+
+  template <typename T> static uint64_t toBits(T Value) {
+    uint64_t Bits = 0;
+    std::memcpy(&Bits, &Value, sizeof(T));
+    return Bits;
+  }
+
+  template <typename T> static T fromBits(uint64_t Bits) {
+    T Value;
+    std::memcpy(&Value, &Bits, sizeof(T));
+    return Value;
+  }
+
+  template <typename T> static void applyCell(void *Addr, uint64_t Bits) {
+    static_cast<WCell<T> *>(Addr)->restoreFromBits(Bits);
+  }
+
+  struct AllocRecord {
+    void *Raw = nullptr;
+    void (*Destroy)(void *) = nullptr;
+    bool FreeOnCommit = false;
+  };
+
+  /// Releases the first \p N acquired commit locks to their saved versions.
+  void unlockFirstN(std::size_t N);
+  /// Clears all per-attempt state and unpins the epoch.
+  void finish();
+
+  unsigned Depth = 0;
+  uint64_t ReadVersion = 0;
+  WriteSet Writes;
+  ChunkedVector<VersionedLock *> ReadSet;
+  ChunkedVector<AllocRecord> Allocs;
+  std::vector<VersionedLock *> LockOrder;  // scratch for commit
+  std::vector<uint64_t> SavedVersions;     // pre-lock versions, commit scratch
+  stm::TxStats Stats;
+};
+
+/// Public entry point mirroring stm::Stm::atomic for the baseline STM.
+class WordStm {
+public:
+  template <typename FnType> static void atomic(FnType &&Fn) {
+    WTxManager &Tx = WTxManager::current();
+    if (Tx.inTx()) {
+      Fn(Tx);
+      return;
+    }
+    Backoff B(reinterpret_cast<uintptr_t>(&Tx) * 0x2545f4914f6cdd1dULL);
+    for (;;) {
+      Tx.begin();
+      try {
+        Fn(Tx);
+        if (Tx.tryCommit())
+          return;
+      } catch (const WAbort &) {
+        Tx.rollbackAttempt();
+      } catch (...) {
+        Tx.rollbackAttempt();
+        throw;
+      }
+      B.pause();
+    }
+  }
+
+  template <typename FnType> static auto atomicResult(FnType &&Fn) {
+    using ResultType = decltype(Fn(std::declval<WTxManager &>()));
+    ResultType Result{};
+    atomic([&](WTxManager &Tx) { Result = Fn(Tx); });
+    return Result;
+  }
+};
+
+} // namespace wstm
+} // namespace otm
+
+#endif // OTM_WSTM_WORDSTM_H

@@ -1,0 +1,115 @@
+//===- wstm/WriteSet.h - Redo-log write set with lookup --------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The word-based STM buffers writes in a redo log until commit (lazy
+/// versioning). Reads must see earlier writes of the same transaction, so
+/// the log is paired with an open-addressing index from cell address to
+/// log position.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_WSTM_WRITESET_H
+#define OTM_WSTM_WRITESET_H
+
+#include "support/ChunkedVector.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace otm {
+namespace wstm {
+
+class WriteSet {
+public:
+  struct Entry {
+    void *Addr = nullptr;
+    uint64_t Bits = 0;
+    void (*Apply)(void *Addr, uint64_t Bits) = nullptr;
+  };
+
+  WriteSet() : Index(InitialCapacity, emptySlot()) {}
+
+  /// Records (or overwrites) the pending value for \p Addr.
+  void put(void *Addr, uint64_t Bits, void (*Apply)(void *, uint64_t)) {
+    std::size_t Slot = findSlot(Addr);
+    if (Index[Slot].Gen == Gen && Index[Slot].Addr == Addr) {
+      Log[Index[Slot].LogPos].Bits = Bits;
+      return;
+    }
+    if ((Log.size() + 1) * 4 >= Index.size() * 3) {
+      grow();
+      Slot = findSlot(Addr);
+    }
+    Index[Slot] = {Addr, Log.size(), Gen};
+    Log.emplaceBack(Addr, Bits, Apply);
+  }
+
+  /// Looks up a pending value; returns true and fills \p Bits if found.
+  bool lookup(const void *Addr, uint64_t &Bits) const {
+    std::size_t Slot = findSlot(const_cast<void *>(Addr));
+    if (Index[Slot].Gen == Gen && Index[Slot].Addr == Addr) {
+      Bits = Log[Index[Slot].LogPos].Bits;
+      return true;
+    }
+    return false;
+  }
+
+  /// Applies all pending writes to memory (commit write-back phase).
+  void applyAll() {
+    Log.forEach([](Entry &E) { E.Apply(E.Addr, E.Bits); });
+  }
+
+  template <typename FnType> void forEach(FnType Fn) { Log.forEach(Fn); }
+
+  std::size_t size() const { return Log.size(); }
+  bool empty() const { return Log.empty(); }
+
+  void clear() {
+    Log.clear();
+    ++Gen;
+  }
+
+private:
+  static constexpr std::size_t InitialCapacity = 128; // power of two
+
+  struct IndexSlot {
+    void *Addr = nullptr;
+    std::size_t LogPos = 0;
+    uint64_t Gen = 0;
+  };
+  static IndexSlot emptySlot() { return IndexSlot(); }
+
+  std::size_t findSlot(void *Addr) const {
+    std::size_t Mask = Index.size() - 1;
+    uint64_t H = reinterpret_cast<uintptr_t>(Addr);
+    H ^= H >> 33;
+    H *= 0xff51afd7ed558ccdULL;
+    H ^= H >> 33;
+    std::size_t Slot = static_cast<std::size_t>(H) & Mask;
+    while (Index[Slot].Gen == Gen && Index[Slot].Addr != Addr)
+      Slot = (Slot + 1) & Mask;
+    return Slot;
+  }
+
+  void grow() {
+    Index.assign(Index.size() * 2, emptySlot());
+    ++Gen;
+    for (std::size_t I = 0, E = Log.size(); I != E; ++I) {
+      std::size_t Slot = findSlot(Log[I].Addr);
+      Index[Slot] = {Log[I].Addr, I, Gen};
+    }
+  }
+
+  ChunkedVector<Entry> Log;
+  mutable std::vector<IndexSlot> Index;
+  uint64_t Gen = 1;
+};
+
+} // namespace wstm
+} // namespace otm
+
+#endif // OTM_WSTM_WRITESET_H

@@ -1,0 +1,187 @@
+//===- tests/ConstFoldTest.cpp - Constant folding & CFG cleanup ----------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "passes/ConstFold.h"
+#include "passes/DCE.h"
+#include "passes/LocalCSE.h"
+#include "passes/LowerAtomic.h"
+#include "passes/OpenElim.h"
+#include "passes/Pass.h"
+#include "passes/SimplifyCFG.h"
+#include "tmir/Parser.h"
+#include "tmir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace otm;
+using namespace otm::interp;
+using namespace otm::passes;
+using namespace otm::tmir;
+
+namespace {
+
+Module parsed(const std::string &Text) {
+  Module M = parseModuleOrDie(Text);
+  verifyModuleOrDie(M);
+  return M;
+}
+
+unsigned countOp(const Module &M, Opcode Op) {
+  unsigned N = 0;
+  for (const std::unique_ptr<Function> &F : M.Functions)
+    for (const std::unique_ptr<BasicBlock> &BB : F->Blocks)
+      for (const Instr &I : BB->Instrs)
+        N += (I.Op == Op);
+  return N;
+}
+
+int64_t runF(Module &M, const char *Name) {
+  Interpreter::Options O;
+  O.Mode = Interpreter::TxMode::IgnoreAtomic;
+  Interpreter I(M, O);
+  Interpreter::RunResult R = I.run(Name, {});
+  EXPECT_FALSE(R.Trapped) << R.Error;
+  return R.Value;
+}
+
+} // namespace
+
+TEST(ConstFold, FoldsArithmeticChains) {
+  Module M = parsed(R"(
+func f(): i64 {
+entry:
+  %a = add 2, 3
+  %b = mul %a, 4
+  %c = sub %b, 6
+  ret %c
+}
+)");
+  ConstFoldPass Fold;
+  EXPECT_TRUE(Fold.run(M));
+  verifyModuleOrDie(M);
+  EXPECT_EQ(countOp(M, Opcode::Add), 0u);
+  EXPECT_EQ(countOp(M, Opcode::Mul), 0u);
+  EXPECT_EQ(runF(M, "f"), 14);
+}
+
+TEST(ConstFold, KeepsTrappingDivision) {
+  Module M = parsed(R"(
+func f(): i64 {
+entry:
+  %a = div 1, 0
+  ret %a
+}
+)");
+  ConstFoldPass Fold;
+  Fold.run(M);
+  EXPECT_EQ(countOp(M, Opcode::Div), 1u) << "division by zero must stay";
+  Interpreter::Options O;
+  O.Mode = Interpreter::TxMode::IgnoreAtomic;
+  Interpreter I(M, O);
+  EXPECT_TRUE(I.run("f", {}).Trapped);
+}
+
+TEST(ConstFold, CollapsesConstantBranches) {
+  Module M = parsed(R"(
+func f(): i64 {
+entry:
+  %c = cmplt 1, 2
+  condbr %c, yes, no
+yes:
+  ret 10
+no:
+  ret 20
+}
+)");
+  ConstFoldPass Fold;
+  EXPECT_TRUE(Fold.run(M));
+  EXPECT_EQ(countOp(M, Opcode::CondBr), 0u);
+  SimplifyCfgPass Cfg;
+  EXPECT_TRUE(Cfg.run(M));
+  verifyModuleOrDie(M);
+  EXPECT_EQ(M.Functions[0]->Blocks.size(), 1u) << "dead arm not removed";
+  EXPECT_EQ(runF(M, "f"), 10);
+}
+
+TEST(ConstFold, DeadBranchBarriersDisappear) {
+  // A barrier on a constant-false path must vanish entirely once folding,
+  // CFG simplification and DCE cooperate — the paper's "classic
+  // optimizations apply to STM operations" effect.
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(p: P): i64 {
+entry:
+  atomic_begin
+  %never = cmpgt 1, 2
+  condbr %never, cold, hot
+cold:
+  %o1 = loadlocal p
+  %v1 = getfield %o1, P.x
+  br join
+hot:
+  %o2 = loadlocal p
+  %v2 = getfield %o2, P.x
+  br join
+join:
+  atomic_end
+  ret 0
+}
+)");
+  PassManager PM;
+  PM.addPass<LowerAtomicPass>();
+  PM.addPass<ConstFoldPass>();
+  PM.addPass<SimplifyCfgPass>();
+  PM.addPass<LocalCsePass>();
+  PM.addPass<OpenElimPass>();
+  PM.addPass<DcePass>();
+  PM.run(M);
+  EXPECT_EQ(countBarriers(M).OpenRead, 1u)
+      << "only the reachable access should keep its barrier";
+}
+
+TEST(SimplifyCfg, MergesChainsAndDropsUnreachable) {
+  Module M = parsed(R"(
+func f(): i64 {
+entry:
+  br a
+a:
+  %x = mov 1
+  br b
+b:
+  %y = add %x, 2
+  ret %y
+dead:
+  ret 99
+}
+)");
+  SimplifyCfgPass Cfg;
+  EXPECT_TRUE(Cfg.run(M));
+  verifyModuleOrDie(M);
+  EXPECT_EQ(M.Functions[0]->Blocks.size(), 1u);
+  EXPECT_EQ(runF(M, "f"), 3);
+}
+
+TEST(SimplifyCfg, KeepsDiamonds) {
+  Module M = parsed(R"(
+func f(c: i1): i64 {
+entry:
+  %x = loadlocal c
+  condbr %x, a, b
+a:
+  br join
+b:
+  br join
+join:
+  ret 1
+}
+)");
+  SimplifyCfgPass Cfg;
+  Cfg.run(M);
+  verifyModuleOrDie(M);
+  EXPECT_EQ(M.Functions[0]->Blocks.size(), 4u)
+      << "multi-predecessor join must not merge";
+}

@@ -1,0 +1,240 @@
+//===- tests/ContainersListMapTest.cpp - Typed container tests -----------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The same functional assertions run against every synchronization policy
+/// (typed tests): the point of the policy design is that the container code
+/// is identical and only the barriers differ, so all five configurations
+/// must agree on semantics. Concurrency stress runs on the thread-safe
+/// policies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "containers/HashMap.h"
+#include "containers/SortedList.h"
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+#include "support/ThreadBarrier.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+using namespace otm;
+using namespace otm::containers;
+
+template <typename PolicyType> class SortedListTest : public ::testing::Test {
+public:
+  using Policy = PolicyType;
+};
+
+template <typename PolicyType> class HashMapTest : public ::testing::Test {
+public:
+  using Policy = PolicyType;
+};
+
+using AllPolicies =
+    ::testing::Types<SeqPolicy, CoarseLockPolicy, WordStmPolicy,
+                     ObjStmNaivePolicy, ObjStmOptPolicy>;
+TYPED_TEST_SUITE(SortedListTest, AllPolicies);
+TYPED_TEST_SUITE(HashMapTest, AllPolicies);
+
+TYPED_TEST(SortedListTest, InsertLookupEraseBasics) {
+  SortedList<TypeParam> List;
+  EXPECT_TRUE(List.insert(5, 50));
+  EXPECT_TRUE(List.insert(1, 10));
+  EXPECT_TRUE(List.insert(9, 90));
+  EXPECT_FALSE(List.insert(5, 55)) << "duplicate key must update";
+  int64_t V = 0;
+  ASSERT_TRUE(List.lookup(5, V));
+  EXPECT_EQ(V, 55);
+  ASSERT_TRUE(List.lookup(1, V));
+  EXPECT_EQ(V, 10);
+  EXPECT_FALSE(List.lookup(7, V));
+  EXPECT_TRUE(List.erase(5));
+  EXPECT_FALSE(List.erase(5));
+  EXPECT_FALSE(List.contains(5));
+  EXPECT_EQ(List.sizeSlow(), 2u);
+  EXPECT_TRUE(List.isSortedSlow());
+}
+
+TYPED_TEST(SortedListTest, StaysSortedUnderRandomOps) {
+  SortedList<TypeParam> List;
+  std::map<int64_t, int64_t> Model;
+  Xoshiro256 Rng(77);
+  for (int I = 0; I < 2000; ++I) {
+    int64_t Key = static_cast<int64_t>(Rng.nextBelow(100));
+    if (Rng.nextPercent(60)) {
+      int64_t Value = static_cast<int64_t>(Rng.next() & 0xffff);
+      bool Fresh = List.insert(Key, Value);
+      EXPECT_EQ(Fresh, Model.find(Key) == Model.end());
+      Model[Key] = Value;
+    } else {
+      bool Erased = List.erase(Key);
+      EXPECT_EQ(Erased, Model.erase(Key) == 1);
+    }
+    ASSERT_TRUE(List.isSortedSlow());
+  }
+  EXPECT_EQ(List.sizeSlow(), Model.size());
+  for (auto [Key, Value] : Model) {
+    int64_t V = 0;
+    ASSERT_TRUE(List.lookup(Key, V)) << "missing key " << Key;
+    EXPECT_EQ(V, Value);
+  }
+}
+
+TYPED_TEST(SortedListTest, SumValuesMatchesModel) {
+  SortedList<TypeParam> List;
+  int64_t Expected = 0;
+  for (int64_t K = 0; K < 200; K += 2) {
+    List.insert(K, K * 3);
+    Expected += K * 3;
+  }
+  EXPECT_EQ(List.sumValues(), Expected);
+}
+
+TYPED_TEST(HashMapTest, InsertLookupEraseBasics) {
+  HashMap<TypeParam> Map(64);
+  EXPECT_TRUE(Map.insert(100, 1));
+  EXPECT_TRUE(Map.insert(200, 2));
+  EXPECT_FALSE(Map.insert(100, 3));
+  int64_t V = 0;
+  ASSERT_TRUE(Map.lookup(100, V));
+  EXPECT_EQ(V, 3);
+  EXPECT_FALSE(Map.lookup(300, V));
+  EXPECT_TRUE(Map.erase(200));
+  EXPECT_FALSE(Map.erase(200));
+  EXPECT_EQ(Map.sizeSlow(), 1u);
+  EXPECT_TRUE(Map.checkPlacementSlow());
+}
+
+TYPED_TEST(HashMapTest, CollidingKeysShareBuckets) {
+  HashMap<TypeParam> Map(4); // force heavy chaining
+  for (int64_t K = 0; K < 256; ++K)
+    EXPECT_TRUE(Map.insert(K, K * K));
+  EXPECT_EQ(Map.sizeSlow(), 256u);
+  for (int64_t K = 0; K < 256; ++K) {
+    int64_t V = 0;
+    ASSERT_TRUE(Map.lookup(K, V));
+    EXPECT_EQ(V, K * K);
+  }
+  for (int64_t K = 0; K < 256; K += 2)
+    EXPECT_TRUE(Map.erase(K));
+  EXPECT_EQ(Map.sizeSlow(), 128u);
+  EXPECT_TRUE(Map.checkPlacementSlow());
+}
+
+TYPED_TEST(HashMapTest, RandomOpsAgainstModel) {
+  HashMap<TypeParam> Map(32);
+  std::map<int64_t, int64_t> Model;
+  Xoshiro256 Rng(123);
+  for (int I = 0; I < 3000; ++I) {
+    int64_t Key = static_cast<int64_t>(Rng.nextBelow(500));
+    switch (Rng.nextBelow(3)) {
+    case 0: {
+      int64_t Value = static_cast<int64_t>(Rng.next() & 0xffff);
+      EXPECT_EQ(Map.insert(Key, Value), Model.find(Key) == Model.end());
+      Model[Key] = Value;
+      break;
+    }
+    case 1:
+      EXPECT_EQ(Map.erase(Key), Model.erase(Key) == 1);
+      break;
+    default: {
+      int64_t V = 0;
+      auto It = Model.find(Key);
+      bool Found = Map.lookup(Key, V);
+      EXPECT_EQ(Found, It != Model.end());
+      if (Found)
+        EXPECT_EQ(V, It->second);
+    }
+    }
+  }
+  EXPECT_EQ(Map.sizeSlow(), Model.size());
+}
+
+//===----------------------------------------------------------------------===
+// Concurrency stress for the thread-safe policies
+//===----------------------------------------------------------------------===
+
+template <typename PolicyType>
+class ConcurrentMapTest : public ::testing::Test {};
+
+using ThreadSafePolicies =
+    ::testing::Types<CoarseLockPolicy, WordStmPolicy, ObjStmNaivePolicy,
+                     ObjStmOptPolicy>;
+TYPED_TEST_SUITE(ConcurrentMapTest, ThreadSafePolicies);
+
+TYPED_TEST(ConcurrentMapTest, DisjointKeyRangesAllLand) {
+  HashMap<TypeParam> Map(128);
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 500;
+  ThreadBarrier Barrier(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Barrier.arriveAndWait();
+      for (int64_t I = 0; I < PerThread; ++I)
+        Map.insert(T * 10000 + I, I);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Map.sizeSlow(), NumThreads * PerThread);
+  EXPECT_TRUE(Map.checkPlacementSlow());
+}
+
+TYPED_TEST(ConcurrentMapTest, MixedOpsKeepStructureConsistent) {
+  HashMap<TypeParam> Map(64);
+  for (int64_t K = 0; K < 200; ++K)
+    Map.insert(K, 0);
+  constexpr int NumThreads = 4;
+  ThreadBarrier Barrier(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(900 + T);
+      Barrier.arriveAndWait();
+      for (int I = 0; I < 2000; ++I) {
+        int64_t Key = static_cast<int64_t>(Rng.nextBelow(400));
+        switch (Rng.nextBelow(4)) {
+        case 0:
+          Map.insert(Key, T);
+          break;
+        case 1:
+          Map.erase(Key);
+          break;
+        default:
+          Map.contains(Key);
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_TRUE(Map.checkPlacementSlow());
+  EXPECT_LE(Map.sizeSlow(), 400u);
+}
+
+TYPED_TEST(ConcurrentMapTest, ConcurrentListInsertsAllLand) {
+  SortedList<TypeParam> List;
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 250;
+  ThreadBarrier Barrier(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Barrier.arriveAndWait();
+      // Interleaved key ranges force adjacent-node conflicts.
+      for (int64_t I = 0; I < PerThread; ++I)
+        List.insert(I * NumThreads + T, T);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(List.sizeSlow(), NumThreads * PerThread);
+  EXPECT_TRUE(List.isSortedSlow());
+}

@@ -1,0 +1,230 @@
+//===- tests/ContainersTreeSkipTest.cpp - RBTree & SkipList tests --------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed (all-policy) functional and invariant tests for the red-black
+/// tree and skip list, plus concurrency stress on the thread-safe
+/// policies. The trees validate full red-black invariants after every
+/// operation in the randomized tests — the classic way rebalancing bugs
+/// surface.
+///
+//===----------------------------------------------------------------------===//
+
+#include "containers/RBTree.h"
+#include "containers/SkipList.h"
+
+#include "support/Random.h"
+#include "support/ThreadBarrier.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+using namespace otm;
+using namespace otm::containers;
+
+template <typename PolicyType> class RBTreeTest : public ::testing::Test {};
+template <typename PolicyType> class SkipListTest : public ::testing::Test {};
+
+using AllPolicies =
+    ::testing::Types<SeqPolicy, CoarseLockPolicy, WordStmPolicy,
+                     ObjStmNaivePolicy, ObjStmOptPolicy>;
+TYPED_TEST_SUITE(RBTreeTest, AllPolicies);
+TYPED_TEST_SUITE(SkipListTest, AllPolicies);
+
+TYPED_TEST(RBTreeTest, InsertLookupEraseBasics) {
+  RBTree<TypeParam> Tree;
+  EXPECT_TRUE(Tree.insert(10, 100));
+  EXPECT_TRUE(Tree.insert(5, 50));
+  EXPECT_TRUE(Tree.insert(15, 150));
+  EXPECT_FALSE(Tree.insert(10, 101));
+  int64_t V = 0;
+  ASSERT_TRUE(Tree.lookup(10, V));
+  EXPECT_EQ(V, 101);
+  EXPECT_FALSE(Tree.lookup(7, V));
+  EXPECT_TRUE(Tree.erase(5));
+  EXPECT_FALSE(Tree.erase(5));
+  EXPECT_EQ(Tree.sizeSlow(), 2u);
+  EXPECT_TRUE(Tree.checkInvariantsSlow());
+}
+
+TYPED_TEST(RBTreeTest, AscendingInsertsStayBalanced) {
+  RBTree<TypeParam> Tree;
+  for (int64_t K = 0; K < 512; ++K) {
+    EXPECT_TRUE(Tree.insert(K, K));
+    ASSERT_TRUE(Tree.checkInvariantsSlow()) << "broken after insert " << K;
+  }
+  EXPECT_EQ(Tree.sizeSlow(), 512u);
+  int64_t Expected = 511 * 512 / 2;
+  EXPECT_EQ(Tree.sumValues(), Expected);
+}
+
+TYPED_TEST(RBTreeTest, RandomOpsAgainstModelWithInvariants) {
+  RBTree<TypeParam> Tree;
+  std::map<int64_t, int64_t> Model;
+  Xoshiro256 Rng(4242);
+  for (int I = 0; I < 2000; ++I) {
+    int64_t Key = static_cast<int64_t>(Rng.nextBelow(300));
+    if (Rng.nextPercent(55)) {
+      int64_t Value = static_cast<int64_t>(Rng.next() & 0xffff);
+      EXPECT_EQ(Tree.insert(Key, Value), Model.find(Key) == Model.end());
+      Model[Key] = Value;
+    } else {
+      EXPECT_EQ(Tree.erase(Key), Model.erase(Key) == 1);
+    }
+    if (I % 16 == 0)
+      ASSERT_TRUE(Tree.checkInvariantsSlow()) << "broken at op " << I;
+  }
+  ASSERT_TRUE(Tree.checkInvariantsSlow());
+  EXPECT_EQ(Tree.sizeSlow(), Model.size());
+  for (auto [Key, Value] : Model) {
+    int64_t V = 0;
+    ASSERT_TRUE(Tree.lookup(Key, V)) << "missing key " << Key;
+    EXPECT_EQ(V, Value);
+  }
+}
+
+TYPED_TEST(RBTreeTest, EraseEveryElement) {
+  RBTree<TypeParam> Tree;
+  std::vector<int64_t> Keys;
+  Xoshiro256 Rng(99);
+  for (int I = 0; I < 300; ++I) {
+    int64_t K = static_cast<int64_t>(Rng.next() & 0xffffff);
+    if (Tree.insert(K, K))
+      Keys.push_back(K);
+  }
+  for (int64_t K : Keys) {
+    EXPECT_TRUE(Tree.erase(K));
+    ASSERT_TRUE(Tree.checkInvariantsSlow());
+  }
+  EXPECT_EQ(Tree.sizeSlow(), 0u);
+}
+
+TYPED_TEST(SkipListTest, InsertLookupEraseBasics) {
+  SkipList<TypeParam> List;
+  EXPECT_TRUE(List.insert(3, 30));
+  EXPECT_TRUE(List.insert(1, 10));
+  EXPECT_TRUE(List.insert(2, 20));
+  EXPECT_FALSE(List.insert(2, 21));
+  int64_t V = 0;
+  ASSERT_TRUE(List.lookup(2, V));
+  EXPECT_EQ(V, 21);
+  EXPECT_TRUE(List.erase(1));
+  EXPECT_FALSE(List.erase(1));
+  EXPECT_FALSE(List.contains(1));
+  EXPECT_EQ(List.sizeSlow(), 2u);
+  EXPECT_TRUE(List.checkInvariantsSlow());
+}
+
+TYPED_TEST(SkipListTest, RandomOpsAgainstModel) {
+  SkipList<TypeParam> List;
+  std::map<int64_t, int64_t> Model;
+  Xoshiro256 Rng(777);
+  for (int I = 0; I < 2500; ++I) {
+    int64_t Key = static_cast<int64_t>(Rng.nextBelow(400));
+    switch (Rng.nextBelow(3)) {
+    case 0: {
+      int64_t Value = static_cast<int64_t>(Rng.next() & 0xffff);
+      EXPECT_EQ(List.insert(Key, Value), Model.find(Key) == Model.end());
+      Model[Key] = Value;
+      break;
+    }
+    case 1:
+      EXPECT_EQ(List.erase(Key), Model.erase(Key) == 1);
+      break;
+    default: {
+      int64_t V = 0;
+      auto It = Model.find(Key);
+      EXPECT_EQ(List.lookup(Key, V), It != Model.end());
+      if (It != Model.end())
+        EXPECT_EQ(V, It->second);
+    }
+    }
+    if (I % 64 == 0)
+      ASSERT_TRUE(List.checkInvariantsSlow()) << "broken at op " << I;
+  }
+  EXPECT_EQ(List.sizeSlow(), Model.size());
+}
+
+//===----------------------------------------------------------------------===
+// Concurrency stress
+//===----------------------------------------------------------------------===
+
+template <typename PolicyType>
+class ConcurrentTreeTest : public ::testing::Test {};
+
+using ThreadSafePolicies =
+    ::testing::Types<CoarseLockPolicy, WordStmPolicy, ObjStmNaivePolicy,
+                     ObjStmOptPolicy>;
+TYPED_TEST_SUITE(ConcurrentTreeTest, ThreadSafePolicies);
+
+TYPED_TEST(ConcurrentTreeTest, TreeParallelInsertsAllLandAndBalanced) {
+  RBTree<TypeParam> Tree;
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 200;
+  ThreadBarrier Barrier(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Barrier.arriveAndWait();
+      for (int64_t I = 0; I < PerThread; ++I)
+        Tree.insert(I * NumThreads + T, T);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Tree.sizeSlow(), NumThreads * PerThread);
+  EXPECT_TRUE(Tree.checkInvariantsSlow());
+}
+
+TYPED_TEST(ConcurrentTreeTest, TreeMixedOpsKeepInvariants) {
+  RBTree<TypeParam> Tree;
+  for (int64_t K = 0; K < 128; ++K)
+    Tree.insert(K * 3, K);
+  constexpr int NumThreads = 4;
+  ThreadBarrier Barrier(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(555 + T);
+      Barrier.arriveAndWait();
+      for (int I = 0; I < 500; ++I) {
+        int64_t Key = static_cast<int64_t>(Rng.nextBelow(500));
+        switch (Rng.nextBelow(4)) {
+        case 0:
+          Tree.insert(Key, T);
+          break;
+        case 1:
+          Tree.erase(Key);
+          break;
+        default:
+          Tree.contains(Key);
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_TRUE(Tree.checkInvariantsSlow());
+}
+
+TYPED_TEST(ConcurrentTreeTest, SkipListParallelInsertsAllLand) {
+  SkipList<TypeParam> List;
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 300;
+  ThreadBarrier Barrier(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Barrier.arriveAndWait();
+      for (int64_t I = 0; I < PerThread; ++I)
+        List.insert(I * NumThreads + T, T);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(List.sizeSlow(), NumThreads * PerThread);
+  EXPECT_TRUE(List.checkInvariantsSlow());
+}

@@ -1,0 +1,216 @@
+//===- tests/InlineTest.cpp - Inliner pass tests --------------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "passes/Inline.h"
+#include "passes/LocalCSE.h"
+#include "passes/LowerAtomic.h"
+#include "passes/OpenElim.h"
+#include "passes/Pass.h"
+#include "passes/SimplifyCFG.h"
+#include "passes/TxClone.h"
+#include "tmir/Parser.h"
+#include "tmir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace otm;
+using namespace otm::interp;
+using namespace otm::passes;
+using namespace otm::tmir;
+
+namespace {
+
+Module parsed(const std::string &Text) {
+  Module M = parseModuleOrDie(Text);
+  verifyModuleOrDie(M);
+  return M;
+}
+
+unsigned callCount(const Function &F) {
+  unsigned N = 0;
+  for (const std::unique_ptr<BasicBlock> &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      N += (I.Op == Opcode::Call);
+  return N;
+}
+
+int64_t runMain(Module &M, int64_t Arg) {
+  Interpreter::Options O;
+  O.Mode = Interpreter::TxMode::ObjStm;
+  Interpreter I(M, O);
+  Interpreter::RunResult R = I.run("main", {Arg});
+  EXPECT_FALSE(R.Trapped) << R.Error;
+  return R.Value;
+}
+
+} // namespace
+
+TEST(Inline, InlinesSmallCalleeAndPreservesResult) {
+  const char *Source = R"(
+func square(x: i64): i64 {
+entry:
+  %v = loadlocal x
+  %r = mul %v, %v
+  ret %r
+}
+func main(n: i64): i64 {
+entry:
+  %n = loadlocal n
+  %a = call square(%n)
+  %b = call square(2)
+  %s = add %a, %b
+  ret %s
+}
+)";
+  Module M = parsed(Source);
+  InlinePass Inliner;
+  EXPECT_TRUE(Inliner.run(M));
+  EXPECT_EQ(Inliner.inlinedLastRun(), 2u);
+  verifyModuleOrDie(M);
+  EXPECT_EQ(callCount(*M.functionByName("main")), 0u);
+  EXPECT_EQ(runMain(M, 5), 29);
+}
+
+TEST(Inline, MultipleReturnsMergeThroughResultLocal) {
+  Module M = parsed(R"(
+func absval(x: i64): i64 {
+entry:
+  %v = loadlocal x
+  %neg = cmplt %v, 0
+  condbr %neg, flip, keep
+flip:
+  %m = sub 0, %v
+  ret %m
+keep:
+  ret %v
+}
+func main(n: i64): i64 {
+entry:
+  %n = loadlocal n
+  %a = call absval(%n)
+  %m = sub 0, %n
+  %b = call absval(%m)
+  %s = add %a, %b
+  ret %s
+}
+)");
+  InlinePass Inliner;
+  EXPECT_TRUE(Inliner.run(M));
+  verifyModuleOrDie(M);
+  EXPECT_EQ(runMain(M, 7), 14);
+  EXPECT_EQ(runMain(M, -9), 18);
+}
+
+TEST(Inline, SkipsDirectRecursion) {
+  Module M = parsed(R"(
+func rec(x: i64): i64 {
+entry:
+  %v = loadlocal x
+  %z = cmple %v, 0
+  condbr %z, base, step
+base:
+  ret 0
+step:
+  %m = sub %v, 1
+  %r = call rec(%m)
+  %s = add %r, %v
+  ret %s
+}
+func main(n: i64): i64 {
+entry:
+  %n = loadlocal n
+  %r = call rec(%n)
+  ret %r
+}
+)");
+  InlinePass Inliner;
+  // The main->rec edge inlines (bounded rounds); rec->rec never does.
+  Inliner.run(M);
+  verifyModuleOrDie(M);
+  EXPECT_GE(callCount(*M.functionByName("rec")), 1u);
+  EXPECT_EQ(runMain(M, 10), 55);
+}
+
+TEST(Inline, RefusesAtomicCalleeIntoAtomicRegion) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func bump(p: P) {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  %v = getfield %o, P.x
+  %w = add %v, 1
+  setfield %o, P.x, %w
+  atomic_end
+  ret
+}
+func caller(p: P) {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  call bump(%o)
+  atomic_end
+  ret
+}
+)");
+  InlinePass Inliner;
+  Inliner.run(M);
+  verifyModuleOrDie(M);
+  // The call inside the atomic region must survive (flattening happens at
+  // runtime through the call, never textually).
+  EXPECT_EQ(callCount(*M.functionByName("caller")), 1u);
+}
+
+TEST(Inline, ExposesCrossCallBarrierElimination) {
+  // The caller reads P.x and the helper reads it again: before inlining
+  // the two transactions' opens are invisible to each other; after
+  // inline + lower + local-cse + open-elim there is exactly one open.
+  const char *Source = R"(
+class P { x: i64 }
+func readIt(p: P): i64 {
+entry:
+  %o = loadlocal p
+  %v = getfield %o, P.x
+  ret %v
+}
+func main2(p: P): i64 {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  %a = getfield %o, P.x
+  %b = call readIt(%o)
+  atomic_end
+  %s = add %a, %b
+  ret %s
+}
+)";
+  // Without inlining: the clone keeps its own open.
+  Module NoInline = parsed(Source);
+  {
+    PassManager PM;
+    PM.addPass<TxClonePass>();
+    PM.addPass<LowerAtomicPass>();
+    PM.addPass<LocalCsePass>();
+    PM.addPass<OpenElimPass>();
+    PM.run(NoInline);
+  }
+  // With inlining first: one open total.
+  Module WithInline = parsed(Source);
+  {
+    PassManager PM;
+    PM.addPass<InlinePass>();
+    PM.addPass<TxClonePass>();
+    PM.addPass<LowerAtomicPass>();
+    PM.addPass<SimplifyCfgPass>(); // merge the inlined chain into one block
+    PM.addPass<LocalCsePass>();
+    PM.addPass<OpenElimPass>();
+    PM.run(WithInline);
+  }
+  EXPECT_EQ(countBarriers(NoInline).OpenRead, 2u);
+  EXPECT_EQ(countBarriers(WithInline).OpenRead, 1u)
+      << "inlining should expose the duplicate open to open-elim";
+}

@@ -1,0 +1,849 @@
+//===- tests/PassesTest.cpp - Barrier optimization pass tests ------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/AllocElision.h"
+#include "passes/DCE.h"
+#include "passes/LocalCSE.h"
+#include "passes/LowerAtomic.h"
+#include "passes/OpenElim.h"
+#include "passes/OpenLicm.h"
+#include "passes/Pipeline.h"
+#include "passes/TxClone.h"
+#include "passes/Upgrade.h"
+#include "tmir/Parser.h"
+#include "tmir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace otm;
+using namespace otm::passes;
+using namespace otm::tmir;
+
+namespace {
+
+Module parsed(const std::string &Text) {
+  Module M = parseModuleOrDie(Text);
+  verifyModuleOrDie(M);
+  return M;
+}
+
+/// Counts instructions with opcode \p Op across the module.
+unsigned countOp(const Module &M, Opcode Op) {
+  unsigned N = 0;
+  for (const std::unique_ptr<Function> &F : M.Functions)
+    for (const std::unique_ptr<BasicBlock> &BB : F->Blocks)
+      for (const Instr &I : BB->Instrs)
+        N += (I.Op == Op);
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// LowerAtomic
+//===----------------------------------------------------------------------===
+
+TEST(LowerAtomic, InsertsNaiveBarriers) {
+  Module M = parsed(R"(
+class P { x: i64, y: i64 }
+func f(p: P): i64 {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  %a = getfield %o, P.x
+  %b = getfield %o, P.y
+  %s = add %a, %b
+  setfield %o, P.x, %s
+  atomic_end
+  ret %s
+}
+)");
+  LowerAtomicPass Lower;
+  EXPECT_TRUE(Lower.run(M));
+  verifyModuleOrDie(M);
+  EXPECT_EQ(countOp(M, Opcode::OpenForRead), 2u);
+  EXPECT_EQ(countOp(M, Opcode::OpenForUpdate), 1u);
+  EXPECT_EQ(countOp(M, Opcode::LogUndoField), 1u);
+}
+
+TEST(LowerAtomic, LeavesNonAtomicCodeAlone) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(p: P): i64 {
+entry:
+  %o = loadlocal p
+  %a = getfield %o, P.x
+  ret %a
+}
+)");
+  LowerAtomicPass Lower;
+  EXPECT_FALSE(Lower.run(M));
+  EXPECT_EQ(countBarriers(M).total(), 0u);
+}
+
+TEST(LowerAtomic, InstrumentsArrays) {
+  Module M = parsed(R"(
+func f(a: arr): i64 {
+entry:
+  atomic_begin
+  %r = loadlocal a
+  %v = arrget %r, 3
+  arrset %r, 4, %v
+  %l = arrlen %r
+  atomic_end
+  ret %l
+}
+)");
+  LowerAtomicPass Lower;
+  EXPECT_TRUE(Lower.run(M));
+  verifyModuleOrDie(M);
+  EXPECT_EQ(countOp(M, Opcode::OpenForRead), 2u); // arrget + arrlen
+  EXPECT_EQ(countOp(M, Opcode::OpenForUpdate), 1u);
+  EXPECT_EQ(countOp(M, Opcode::LogUndoElem), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// TxClone
+//===----------------------------------------------------------------------===
+
+TEST(TxClone, ClonesCalleesOfAtomicRegions) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func helper(p: P): i64 {
+entry:
+  %o = loadlocal p
+  %v = getfield %o, P.x
+  ret %v
+}
+func f(p: P): i64 {
+entry:
+  %o = loadlocal p
+  atomic_begin
+  %v = call helper(%o)
+  atomic_end
+  %w = call helper(%o)
+  %s = add %v, %w
+  ret %s
+}
+)");
+  TxClonePass Clone;
+  EXPECT_TRUE(Clone.run(M));
+  verifyModuleOrDie(M);
+  Function *TxHelper = M.functionByName("helper$tx");
+  ASSERT_NE(TxHelper, nullptr);
+  EXPECT_TRUE(TxHelper->IsAllAtomic);
+  EXPECT_FALSE(M.functionByName("helper")->IsAllAtomic);
+
+  // The atomic call goes to the clone; the plain call stays.
+  Function &F = *M.functionByName("f");
+  std::vector<int> Callees;
+  for (std::unique_ptr<BasicBlock> &BB : F.Blocks)
+    for (Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Call)
+        Callees.push_back(I.CalleeIdx);
+  ASSERT_EQ(Callees.size(), 2u);
+  EXPECT_EQ(M.Functions[Callees[0]]->Name, "helper$tx");
+  EXPECT_EQ(M.Functions[Callees[1]]->Name, "helper");
+}
+
+TEST(TxClone, HandlesTransitiveAndRecursiveCalls) {
+  Module M = parsed(R"(
+func leaf(x: i64): i64 {
+entry:
+  %v = loadlocal x
+  ret %v
+}
+func mid(x: i64): i64 {
+entry:
+  %v = loadlocal x
+  %r = call leaf(%v)
+  ret %r
+}
+func rec(x: i64): i64 {
+entry:
+  %v = loadlocal x
+  %z = cmpeq %v, 0
+  condbr %z, base, step
+base:
+  ret 0
+step:
+  %m = sub %v, 1
+  %r = call rec(%m)
+  ret %r
+}
+func f(x: i64): i64 {
+entry:
+  atomic_begin
+  %v = loadlocal x
+  %a = call mid(%v)
+  %b = call rec(%v)
+  atomic_end
+  %s = add %a, %b
+  ret %s
+}
+)");
+  TxClonePass Clone;
+  EXPECT_TRUE(Clone.run(M));
+  verifyModuleOrDie(M);
+  ASSERT_NE(M.functionByName("mid$tx"), nullptr);
+  ASSERT_NE(M.functionByName("leaf$tx"), nullptr);
+  ASSERT_NE(M.functionByName("rec$tx"), nullptr);
+
+  // Calls inside clones must target clones (including self-recursion).
+  Function &RecTx = *M.functionByName("rec$tx");
+  for (std::unique_ptr<BasicBlock> &BB : RecTx.Blocks)
+    for (Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Call)
+        EXPECT_TRUE(M.Functions[I.CalleeIdx]->IsAllAtomic);
+  Function &MidTx = *M.functionByName("mid$tx");
+  for (std::unique_ptr<BasicBlock> &BB : MidTx.Blocks)
+    for (Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Call)
+        EXPECT_EQ(M.Functions[I.CalleeIdx]->Name, "leaf$tx");
+}
+
+//===----------------------------------------------------------------------===
+// OpenElim
+//===----------------------------------------------------------------------===
+
+TEST(OpenElim, RemovesStraightLineDuplicates) {
+  Module M = parsed(R"(
+class P { x: i64, y: i64 }
+func f(p: P): i64 {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  open_read %o
+  %a = getfield %o, P.x
+  open_read %o
+  %b = getfield %o, P.y
+  atomic_end
+  %s = add %a, %b
+  ret %s
+}
+)");
+  OpenElimPass Elim;
+  EXPECT_TRUE(Elim.run(M));
+  EXPECT_EQ(Elim.removedLastRun(), 1u);
+  EXPECT_EQ(countOp(M, Opcode::OpenForRead), 1u);
+}
+
+TEST(OpenElim, UpdateSubsumesRead) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(p: P): i64 {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  open_update %o
+  open_read %o
+  %a = getfield %o, P.x
+  atomic_end
+  ret %a
+}
+)");
+  OpenElimPass Elim;
+  EXPECT_TRUE(Elim.run(M));
+  EXPECT_EQ(countOp(M, Opcode::OpenForRead), 0u);
+  EXPECT_EQ(countOp(M, Opcode::OpenForUpdate), 1u);
+}
+
+TEST(OpenElim, ReadDoesNotSubsumeUpdate) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(p: P) {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  open_read %o
+  open_update %o
+  log_undo_field %o, P.x
+  setfield %o, P.x, 1
+  atomic_end
+  ret
+}
+)");
+  OpenElimPass Elim;
+  Elim.run(M);
+  EXPECT_EQ(countOp(M, Opcode::OpenForUpdate), 1u);
+}
+
+TEST(OpenElim, KeepsOpensAcrossRedefinition) {
+  // The register is redefined each loop iteration: the open inside the
+  // loop must survive (a new object is opened each time).
+  Module M = parsed(R"(
+class Node { next: Node }
+func walk(head: Node) {
+  var cur: Node
+entry:
+  %h = loadlocal head
+  storelocal cur, %h
+  br loop
+loop:
+  %c = loadlocal cur
+  %z = cmpeq %c, null
+  condbr %z, exit, body
+body:
+  atomic_begin
+  open_read %c
+  %n = getfield %c, Node.next
+  atomic_end
+  storelocal cur, %n
+  br loop
+exit:
+  ret
+}
+)");
+  OpenElimPass Elim;
+  EXPECT_FALSE(Elim.run(M));
+  EXPECT_EQ(countOp(M, Opcode::OpenForRead), 1u);
+}
+
+TEST(OpenElim, RequiresAvailabilityOnAllPaths) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(p: P, c: i1): i64 {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  %cc = loadlocal c
+  condbr %cc, yes, no
+yes:
+  open_read %o
+  %a = getfield %o, P.x
+  br join
+no:
+  br join
+join:
+  open_read %o
+  %b = getfield %o, P.x
+  atomic_end
+  ret %b
+}
+)");
+  OpenElimPass Elim;
+  // The join-open is reachable with no prior open via "no": must stay.
+  EXPECT_FALSE(Elim.run(M));
+  EXPECT_EQ(countOp(M, Opcode::OpenForRead), 2u);
+}
+
+TEST(OpenElim, RemovesWhenAvailableOnAllPaths) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(p: P, c: i1): i64 {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  open_read %o
+  %cc = loadlocal c
+  condbr %cc, yes, no
+yes:
+  br join
+no:
+  br join
+join:
+  open_read %o
+  %b = getfield %o, P.x
+  atomic_end
+  ret %b
+}
+)");
+  OpenElimPass Elim;
+  EXPECT_TRUE(Elim.run(M));
+  EXPECT_EQ(countOp(M, Opcode::OpenForRead), 1u);
+}
+
+TEST(OpenElim, FactsDieAtRegionBoundary) {
+  // Two separate transactions: the second must re-open.
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(p: P) {
+entry:
+  %o = loadlocal p
+  atomic_begin
+  open_read %o
+  %a = getfield %o, P.x
+  atomic_end
+  atomic_begin
+  open_read %o
+  %b = getfield %o, P.x
+  atomic_end
+  ret
+}
+)");
+  OpenElimPass Elim;
+  EXPECT_FALSE(Elim.run(M));
+  EXPECT_EQ(countOp(M, Opcode::OpenForRead), 2u);
+}
+
+TEST(OpenElim, RemovesDuplicateUndoLogsPerField) {
+  Module M = parsed(R"(
+class P { x: i64, y: i64 }
+func f(p: P) {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  open_update %o
+  log_undo_field %o, P.x
+  setfield %o, P.x, 1
+  log_undo_field %o, P.x
+  setfield %o, P.x, 2
+  log_undo_field %o, P.y
+  setfield %o, P.y, 3
+  atomic_end
+  ret
+}
+)");
+  OpenElimPass Elim;
+  EXPECT_TRUE(Elim.run(M));
+  EXPECT_EQ(countOp(M, Opcode::LogUndoField), 2u); // one per field
+}
+
+TEST(OpenElim, DropsBarriersOnNull) {
+  Module M = parsed(R"(
+func f() {
+entry:
+  atomic_begin
+  open_read null
+  atomic_end
+  ret
+}
+)");
+  OpenElimPass Elim;
+  EXPECT_TRUE(Elim.run(M));
+  EXPECT_EQ(countBarriers(M).total(), 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Upgrade
+//===----------------------------------------------------------------------===
+
+TEST(Upgrade, StrengthensWhenUpdateIsCertain) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(p: P): i64 {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  open_read %o
+  %a = getfield %o, P.x
+  open_update %o
+  log_undo_field %o, P.x
+  setfield %o, P.x, 9
+  atomic_end
+  ret %a
+}
+)");
+  UpgradePass Up;
+  EXPECT_TRUE(Up.run(M));
+  EXPECT_EQ(Up.upgradedLastRun(), 1u);
+  EXPECT_EQ(countOp(M, Opcode::OpenForRead), 0u);
+  EXPECT_EQ(countOp(M, Opcode::OpenForUpdate), 2u);
+
+  // And open-elim then removes the dominated second update open.
+  OpenElimPass Elim;
+  EXPECT_TRUE(Elim.run(M));
+  EXPECT_EQ(countOp(M, Opcode::OpenForUpdate), 1u);
+}
+
+TEST(Upgrade, DoesNotStrengthenOnPartialPaths) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(p: P, c: i1): i64 {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  open_read %o
+  %a = getfield %o, P.x
+  %cc = loadlocal c
+  condbr %cc, wr, done
+wr:
+  open_update %o
+  log_undo_field %o, P.x
+  setfield %o, P.x, 9
+  br done
+done:
+  atomic_end
+  ret %a
+}
+)");
+  UpgradePass Up;
+  EXPECT_FALSE(Up.run(M));
+  EXPECT_EQ(countOp(M, Opcode::OpenForRead), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// AllocElision
+//===----------------------------------------------------------------------===
+
+TEST(AllocElision, RemovesBarriersOnFreshObjects) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(): P {
+  var tmp: P
+entry:
+  atomic_begin
+  %n = newobj P
+  open_update %n
+  log_undo_field %n, P.x
+  setfield %n, P.x, 1
+  storelocal tmp, %n
+  %m = loadlocal tmp
+  open_read %m
+  %v = getfield %m, P.x
+  atomic_end
+  ret %n
+}
+)");
+  AllocElisionPass Elide;
+  EXPECT_TRUE(Elide.run(M));
+  EXPECT_EQ(Elide.removedLastRun(), 3u);
+  EXPECT_EQ(countBarriers(M).total(), 0u);
+}
+
+TEST(AllocElision, KeepsBarriersOnParameters) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(p: P) {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  open_update %o
+  log_undo_field %o, P.x
+  setfield %o, P.x, 1
+  atomic_end
+  ret
+}
+)");
+  AllocElisionPass Elide;
+  EXPECT_FALSE(Elide.run(M));
+  EXPECT_EQ(countBarriers(M).total(), 2u);
+}
+
+TEST(AllocElision, FreshnessDiesAtRegionBoundary) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func f() {
+  var tmp: P
+entry:
+  atomic_begin
+  %n = newobj P
+  storelocal tmp, %n
+  atomic_end
+  atomic_begin
+  %m = loadlocal tmp
+  open_update %m
+  log_undo_field %m, P.x
+  setfield %m, P.x, 1
+  atomic_end
+  ret
+}
+)");
+  AllocElisionPass Elide;
+  // The object escaped its allocating transaction; barriers must stay.
+  EXPECT_FALSE(Elide.run(M));
+  EXPECT_EQ(countBarriers(M).total(), 2u);
+}
+
+TEST(AllocElision, LocalOverwrittenWithSharedKillsFreshness) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(p: P) {
+  var tmp: P
+entry:
+  atomic_begin
+  %n = newobj P
+  storelocal tmp, %n
+  %o = loadlocal p
+  storelocal tmp, %o
+  %m = loadlocal tmp
+  open_update %m
+  log_undo_field %m, P.x
+  setfield %m, P.x, 1
+  atomic_end
+  ret
+}
+)");
+  AllocElisionPass Elide;
+  EXPECT_FALSE(Elide.run(M));
+  EXPECT_EQ(countBarriers(M).total(), 2u);
+}
+
+//===----------------------------------------------------------------------===
+// OpenLicm
+//===----------------------------------------------------------------------===
+
+TEST(OpenLicm, HoistsInvariantOpenToPreheader) {
+  Module M = parsed(R"(
+class Acc { total: i64 }
+func f(acc: Acc, n: i64) {
+  var i: i64
+entry:
+  storelocal i, 0
+  atomic_begin
+  %a = loadlocal acc
+  br loop
+loop:
+  %i1 = loadlocal i
+  %nn = loadlocal n
+  %done = cmpge %i1, %nn
+  condbr %done, exit, body
+body:
+  open_update %a
+  log_undo_field %a, Acc.total
+  %t = getfield %a, Acc.total
+  %t2 = add %t, %i1
+  setfield %a, Acc.total, %t2
+  %i2 = add %i1, 1
+  storelocal i, %i2
+  br loop
+exit:
+  atomic_end
+  ret
+}
+)");
+  OpenLicmPass Licm;
+  EXPECT_TRUE(Licm.run(M));
+  verifyModuleOrDie(M);
+  EXPECT_EQ(Licm.hoistedLastRun(), 2u); // the open and the undo log
+  // Barriers moved out of the loop body.
+  Function &F = *M.functionByName("f");
+  for (std::unique_ptr<BasicBlock> &BB : F.Blocks)
+    if (BB->Name == "body")
+      for (Instr &I : BB->Instrs)
+        EXPECT_FALSE(isBarrier(I.Op)) << "barrier left in loop body";
+  // The entry block is the sole outside predecessor ending in an
+  // unconditional branch, so it serves as the preheader: the hoisted
+  // barriers land right before its terminator.
+  BasicBlock &Entry = *F.entry();
+  ASSERT_GE(Entry.Instrs.size(), 3u);
+  EXPECT_EQ(Entry.Instrs[Entry.Instrs.size() - 3].Op, Opcode::OpenForUpdate);
+  EXPECT_EQ(Entry.Instrs[Entry.Instrs.size() - 2].Op, Opcode::LogUndoField);
+}
+
+TEST(OpenLicm, DoesNotHoistVariantOpens) {
+  Module M = parsed(R"(
+class Node { next: Node }
+func walk(head: Node) {
+  var cur: Node
+entry:
+  %h = loadlocal head
+  storelocal cur, %h
+  atomic_begin
+  br loop
+loop:
+  %c = loadlocal cur
+  %z = cmpeq %c, null
+  condbr %z, exit, body
+body:
+  open_read %c
+  %n = getfield %c, Node.next
+  storelocal cur, %n
+  br loop
+exit:
+  atomic_end
+  ret
+}
+)");
+  OpenLicmPass Licm;
+  EXPECT_FALSE(Licm.run(M));
+  EXPECT_EQ(countOp(M, Opcode::OpenForRead), 1u);
+}
+
+TEST(OpenLicm, SkipsLoopsOutsideTransactions) {
+  Module M = parsed(R"(
+class Acc { total: i64 }
+func f(acc: Acc, n: i64) {
+  var i: i64
+entry:
+  storelocal i, 0
+  br loop
+loop:
+  %i1 = loadlocal i
+  %nn = loadlocal n
+  %done = cmpge %i1, %nn
+  condbr %done, exit, body
+body:
+  atomic_begin
+  %a = loadlocal acc
+  open_update %a
+  log_undo_field %a, Acc.total
+  %t = getfield %a, Acc.total
+  %t2 = add %t, %i1
+  setfield %a, Acc.total, %t2
+  atomic_end
+  %i2 = add %i1, 1
+  storelocal i, %i2
+  br loop
+exit:
+  ret
+}
+)");
+  OpenLicmPass Licm;
+  // Each iteration is its own transaction: hoisting would be wrong.
+  EXPECT_FALSE(Licm.run(M));
+}
+
+//===----------------------------------------------------------------------===
+// LocalCSE + DCE
+//===----------------------------------------------------------------------===
+
+TEST(LocalCse, ForwardsRepeatedLoads) {
+  Module M = parsed(R"(
+class P { x: i64, y: i64 }
+func f(p: P): i64 {
+entry:
+  %o1 = loadlocal p
+  %a = getfield %o1, P.x
+  %o2 = loadlocal p
+  %b = getfield %o2, P.y
+  %s = add %a, %b
+  ret %s
+}
+)");
+  LocalCsePass Cse;
+  EXPECT_TRUE(Cse.run(M));
+  verifyModuleOrDie(M);
+  EXPECT_EQ(countOp(M, Opcode::LoadLocal), 1u);
+}
+
+TEST(LocalCse, StoreLoadForwardingWithinBlock) {
+  Module M = parsed(R"(
+func f(): i64 {
+  var x: i64
+entry:
+  storelocal x, 7
+  %v = loadlocal x
+  ret %v
+}
+)");
+  LocalCsePass Cse;
+  EXPECT_TRUE(Cse.run(M));
+  verifyModuleOrDie(M);
+  EXPECT_EQ(countOp(M, Opcode::LoadLocal), 0u);
+  // The ret now returns the constant directly.
+  Function &F = *M.functionByName("f");
+  const Instr &Ret = F.Blocks.back()->Instrs.back();
+  ASSERT_EQ(Ret.Op, Opcode::Ret);
+  ASSERT_TRUE(Ret.Operands[0].isImm());
+  EXPECT_EQ(Ret.Operands[0].immValue(), 7);
+}
+
+TEST(LocalCse, DoesNotForwardAcrossBlocksUnsafely) {
+  // %s is defined in the loop; the mov into %a in a different block must
+  // not be forwarded to uses after the loop... here simplified: loads in
+  // different blocks are not forwarded.
+  Module M = parsed(R"(
+func f(n: i64): i64 {
+entry:
+  %a = loadlocal n
+  br next
+next:
+  %b = loadlocal n
+  %s = add %a, %b
+  ret %s
+}
+)");
+  LocalCsePass Cse;
+  EXPECT_FALSE(Cse.run(M));
+  EXPECT_EQ(countOp(M, Opcode::LoadLocal), 2u);
+}
+
+TEST(Dce, RemovesDeadLoadsAfterBarrierRemoval) {
+  Module M = parsed(R"(
+func f(): i64 {
+  var x: i64
+entry:
+  storelocal x, 3
+  %dead1 = loadlocal x
+  %dead2 = add %dead1, 4
+  ret 0
+}
+)");
+  DcePass Dce;
+  EXPECT_TRUE(Dce.run(M));
+  Function &F = *M.functionByName("f");
+  EXPECT_EQ(F.Blocks[0]->Instrs.size(), 2u); // storelocal + ret
+}
+
+//===----------------------------------------------------------------------===
+// Full pipeline
+//===----------------------------------------------------------------------===
+
+TEST(Pipeline, ListTraversalBarriersShrinkDramatically) {
+  // Naive lowering opens a node once per field access (key + next); the
+  // optimizer gets that down to one open per node visit.
+  const char *Program = R"(
+class Node { key: i64, next: Node }
+func contains(head: Node, k: i64): i1 {
+  var cur: Node
+entry:
+  %h = loadlocal head
+  storelocal cur, %h
+  br loop
+loop:
+  %c = loadlocal cur
+  %z = cmpeq %c, null
+  condbr %z, nope, check
+check:
+  atomic_begin
+  %c2 = loadlocal cur
+  %ck = getfield %c2, Node.key
+  %c3 = loadlocal cur
+  %n = getfield %c3, Node.next
+  atomic_end
+  %kk = loadlocal k
+  %eq = cmpeq %ck, %kk
+  condbr %eq, yes, advance
+advance:
+  storelocal cur, %n
+  br loop
+yes:
+  ret true
+nope:
+  ret false
+}
+)";
+  Module Naive = parsed(Program);
+  lowerAndOptimize(Naive, OptConfig::none());
+  Module Opt = parsed(Program);
+  lowerAndOptimize(Opt, OptConfig::all());
+
+  BarrierCounts NaiveCounts = countBarriers(Naive);
+  BarrierCounts OptCounts = countBarriers(Opt);
+  EXPECT_EQ(NaiveCounts.OpenRead, 2u);
+  EXPECT_EQ(OptCounts.OpenRead, 1u) << "local CSE + open-elim should merge "
+                                       "the two per-node opens into one";
+  verifyModuleOrDie(Opt);
+}
+
+TEST(Pipeline, ReportsCoverEveryPass) {
+  Module M = parsed(R"(
+class P { x: i64 }
+func f(p: P) {
+entry:
+  atomic_begin
+  %o = loadlocal p
+  %v = getfield %o, P.x
+  %w = add %v, 1
+  setfield %o, P.x, %w
+  atomic_end
+  ret
+}
+)");
+  std::vector<PassReport> Reports = lowerAndOptimize(M, OptConfig::all());
+  ASSERT_GE(Reports.size(), 9u);
+  EXPECT_EQ(Reports[0].PassName, "inline");
+  EXPECT_EQ(Reports[1].PassName, "tx-clone");
+  EXPECT_EQ(Reports[2].PassName, "lower-atomic");
+  EXPECT_GT(Reports[2].After.total(), 0u);
+  // Upgrade turns the read open into an update open; elim removes the
+  // duplicate update open; net: one open_update + one undo log.
+  BarrierCounts Final = Reports.back().After;
+  EXPECT_EQ(Final.OpenRead, 0u);
+  EXPECT_EQ(Final.OpenUpdate, 1u);
+  EXPECT_EQ(Final.UndoField, 1u);
+}

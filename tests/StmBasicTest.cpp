@@ -1,0 +1,346 @@
+//===- tests/StmBasicTest.cpp - Single-threaded STM semantics ------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sequential semantics of the decomposed direct-update STM: visibility of
+/// commits, rollback of aborts, idempotence of opens, filter behaviour,
+/// nesting, allocation logging and GC log compaction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+
+#include "gc/EpochManager.h"
+#include "stm/HashFilter.h"
+#include "stm/TxArray.h"
+#include "stm/TxGlobal.h"
+
+#include <gtest/gtest.h>
+
+using namespace otm;
+using namespace otm::stm;
+
+namespace {
+
+struct Point : TxObject {
+  Field<int64_t> X;
+  Field<int64_t> Y;
+};
+
+struct ConfigGuard {
+  ConfigGuard() : Saved(TxManager::config()) {}
+  ~ConfigGuard() { TxManager::config() = Saved; }
+  TxConfig Saved;
+};
+
+} // namespace
+
+TEST(HashFilterTest, InsertDetectsDuplicates) {
+  HashFilter F;
+  EXPECT_TRUE(F.insert(0x1000));
+  EXPECT_FALSE(F.insert(0x1000));
+  EXPECT_TRUE(F.insert(0x2000));
+  EXPECT_TRUE(F.contains(0x1000));
+  EXPECT_FALSE(F.contains(0x3000));
+}
+
+TEST(HashFilterTest, ClearIsLogical) {
+  HashFilter F;
+  for (uintptr_t K = 1; K <= 100; ++K)
+    EXPECT_TRUE(F.insert(K * 8));
+  F.clear();
+  EXPECT_EQ(F.size(), 0u);
+  for (uintptr_t K = 1; K <= 100; ++K)
+    EXPECT_FALSE(F.contains(K * 8)) << "stale entry survived clear";
+}
+
+TEST(HashFilterTest, GrowthPreservesMembership) {
+  HashFilter F;
+  for (uintptr_t K = 1; K <= 1000; ++K)
+    EXPECT_TRUE(F.insert(K * 16));
+  for (uintptr_t K = 1; K <= 1000; ++K)
+    EXPECT_FALSE(F.insert(K * 16));
+  EXPECT_EQ(F.size(), 1000u);
+}
+
+TEST(StmBasic, CommitPublishesValues) {
+  Point P;
+  Stm::atomic([&](TxManager &Tx) {
+    Tx.write(&P, &Point::X, int64_t{11});
+    Tx.write(&P, &Point::Y, int64_t{13});
+  });
+  EXPECT_EQ(P.X.load(), 11);
+  EXPECT_EQ(P.Y.load(), 13);
+  EXPECT_FALSE(P.isOpenForUpdate());
+}
+
+TEST(StmBasic, CommitIncrementsVersionOncePerObject) {
+  Point P;
+  uint64_t V0 = P.versionForTesting();
+  Stm::atomic([&](TxManager &Tx) {
+    Tx.write(&P, &Point::X, int64_t{1});
+    Tx.write(&P, &Point::Y, int64_t{2}); // same object: one update entry
+  });
+  EXPECT_EQ(P.versionForTesting(), V0 + 1);
+}
+
+TEST(StmBasic, ReadSeesOwnWrite) {
+  Point P;
+  int64_t Observed = -1;
+  Stm::atomic([&](TxManager &Tx) {
+    Tx.write(&P, &Point::X, int64_t{7});
+    Observed = Tx.read(&P, &Point::X);
+  });
+  EXPECT_EQ(Observed, 7);
+}
+
+TEST(StmBasic, UserAbortRollsBackAndDoesNotRetry) {
+  Point P;
+  P.X.store(5);
+  uint64_t V0 = P.versionForTesting();
+  int Executions = 0;
+  Stm::atomic([&](TxManager &Tx) {
+    ++Executions;
+    Tx.write(&P, &Point::X, int64_t{99});
+    Tx.userAbort();
+  });
+  EXPECT_EQ(Executions, 1);
+  EXPECT_EQ(P.X.load(), 5) << "in-place store not undone";
+  EXPECT_EQ(P.versionForTesting(), V0) << "abort must not bump version";
+  EXPECT_FALSE(P.isOpenForUpdate()) << "ownership leaked";
+}
+
+TEST(StmBasic, UserExceptionAbortsAndPropagates) {
+  Point P;
+  P.X.store(1);
+  struct Boom {};
+  EXPECT_THROW(Stm::atomic([&](TxManager &Tx) {
+                 Tx.write(&P, &Point::X, int64_t{2});
+                 throw Boom{};
+               }),
+               Boom);
+  EXPECT_EQ(P.X.load(), 1);
+  EXPECT_FALSE(P.isOpenForUpdate());
+}
+
+TEST(StmBasic, UndoRestoresMultipleFieldsInOrder) {
+  ConfigGuard Guard;
+  TxManager::config().FilterUndo = false; // force duplicate undo entries
+  Point P;
+  P.X.store(10);
+  Stm::atomic([&](TxManager &Tx) {
+    Tx.write(&P, &Point::X, int64_t{20});
+    Tx.write(&P, &Point::X, int64_t{30});
+    Tx.write(&P, &Point::X, int64_t{40});
+    Tx.userAbort();
+  });
+  EXPECT_EQ(P.X.load(), 10) << "reverse replay must restore oldest value";
+}
+
+TEST(StmBasic, OpenForReadIsIdempotentViaFilter) {
+  Point P;
+  TxManager &Tx = TxManager::current();
+  TxStats Before = Tx.stats();
+  Stm::atomic([&](TxManager &T) {
+    for (int I = 0; I < 10; ++I)
+      T.openForRead(&P);
+  });
+  TxStats &After = Tx.stats();
+  EXPECT_EQ(After.OpensForRead - Before.OpensForRead, 10u);
+  EXPECT_EQ(After.ReadLogAppends - Before.ReadLogAppends, 1u);
+  EXPECT_EQ(After.ReadsFiltered - Before.ReadsFiltered, 9u);
+}
+
+TEST(StmBasic, OpenForUpdateSkipsReadLogging) {
+  Point P;
+  TxManager &Tx = TxManager::current();
+  TxStats Before = Tx.stats();
+  Stm::atomic([&](TxManager &T) {
+    T.openForUpdate(&P);
+    T.openForRead(&P); // we own it: no enlistment needed
+  });
+  TxStats &After = Tx.stats();
+  EXPECT_EQ(After.ReadLogAppends - Before.ReadLogAppends, 0u);
+}
+
+TEST(StmBasic, UndoFilterSuppressesDuplicates) {
+  Point P;
+  TxManager &Tx = TxManager::current();
+  TxStats Before = Tx.stats();
+  Stm::atomic([&](TxManager &T) {
+    T.openForUpdate(&P);
+    for (int I = 0; I < 5; ++I) {
+      T.logUndo(&P.X);
+      P.X.store(I);
+    }
+  });
+  TxStats &After = Tx.stats();
+  EXPECT_EQ(After.UndoLogAppends - Before.UndoLogAppends, 1u);
+  EXPECT_EQ(After.UndosFiltered - Before.UndosFiltered, 4u);
+  EXPECT_EQ(P.X.load(), 4);
+}
+
+TEST(StmBasic, NestedAtomicIsFlattened) {
+  Point P;
+  Stm::atomic([&](TxManager &Tx) {
+    EXPECT_EQ(Tx.nestingDepth(), 1u);
+    Stm::atomic([&](TxManager &Inner) {
+      EXPECT_EQ(&Inner, &Tx) << "same per-thread manager";
+      EXPECT_EQ(Inner.nestingDepth(), 1u) << "flattened, not nested begin";
+      Inner.write(&P, &Point::X, int64_t{3});
+    });
+    EXPECT_TRUE(Tx.inTx());
+  });
+  EXPECT_EQ(P.X.load(), 3);
+}
+
+TEST(StmBasic, ExplicitBeginNestingIsCounted) {
+  TxManager &Tx = TxManager::current();
+  Tx.begin();
+  Tx.begin();
+  EXPECT_EQ(Tx.nestingDepth(), 2u);
+  EXPECT_TRUE(Tx.tryCommit()); // inner
+  EXPECT_EQ(Tx.nestingDepth(), 1u);
+  EXPECT_TRUE(Tx.tryCommit()); // outer
+  EXPECT_FALSE(Tx.inTx());
+}
+
+TEST(StmBasic, AllocInTxFreedOnAbort) {
+  gc::EpochManager &EM = gc::EpochManager::global();
+  EM.drainForTesting();
+  uint64_t FreedBefore = EM.freedCount();
+  Stm::atomic([&](TxManager &Tx) {
+    Point *Fresh = Tx.allocInTx<Point>();
+    Fresh->X.store(123); // transaction-local: no open, no undo log needed
+    Tx.userAbort();
+  });
+  EM.drainForTesting();
+  EXPECT_EQ(EM.freedCount(), FreedBefore + 1) << "aborted alloc leaked";
+}
+
+TEST(StmBasic, AllocInTxSurvivesCommit) {
+  Point *Fresh = nullptr;
+  Stm::atomic([&](TxManager &Tx) {
+    Fresh = Tx.allocInTx<Point>();
+    Fresh->X.store(55);
+  });
+  ASSERT_NE(Fresh, nullptr);
+  EXPECT_EQ(Fresh->X.load(), 55);
+  delete Fresh;
+}
+
+TEST(StmBasic, RetireOnCommitFreesOnlyOnCommit) {
+  gc::EpochManager &EM = gc::EpochManager::global();
+
+  // Abort path: object must survive.
+  Point *Kept = new Point();
+  EM.drainForTesting();
+  uint64_t Freed0 = EM.freedCount();
+  Stm::atomic([&](TxManager &Tx) {
+    Tx.openForUpdate(Kept);
+    Tx.retireOnCommit(Kept);
+    Tx.userAbort();
+  });
+  EM.drainForTesting();
+  EXPECT_EQ(EM.freedCount(), Freed0) << "abort must keep the object";
+  EXPECT_EQ(Kept->X.load(), 0);
+
+  // Commit path: object must be retired and eventually freed.
+  Stm::atomic([&](TxManager &Tx) {
+    Tx.openForUpdate(Kept);
+    Tx.retireOnCommit(Kept);
+  });
+  EM.drainForTesting();
+  EXPECT_EQ(EM.freedCount(), Freed0 + 1);
+}
+
+TEST(StmBasic, TxGlobalRoundTrip) {
+  static TxGlobal<int64_t> Counter(0);
+  Stm::atomic([&](TxManager &Tx) { Counter.set(Tx, Counter.get(Tx) + 5); });
+  Stm::atomic([&](TxManager &Tx) { Counter.set(Tx, Counter.get(Tx) + 7); });
+  EXPECT_EQ(Counter.unsafeGet(), 12);
+}
+
+TEST(StmBasic, TxArrayElementOps) {
+  TxArray<int64_t> Arr(16);
+  Stm::atomic([&](TxManager &Tx) {
+    for (std::size_t I = 0; I < Arr.size(); ++I)
+      Arr.set(Tx, I, static_cast<int64_t>(I * I));
+  });
+  int64_t Sum = 0;
+  Stm::atomic([&](TxManager &Tx) {
+    for (std::size_t I = 0; I < Arr.size(); ++I)
+      Sum += Arr.get(Tx, I);
+  });
+  EXPECT_EQ(Sum, 1240);
+}
+
+TEST(StmBasic, TxArrayAbortRestoresAllElements) {
+  TxArray<int64_t> Arr(8);
+  for (std::size_t I = 0; I < 8; ++I)
+    Arr.unsafeSet(I, 100 + static_cast<int64_t>(I));
+  Stm::atomic([&](TxManager &Tx) {
+    for (std::size_t I = 0; I < 8; ++I)
+      Arr.set(Tx, I, -1);
+    Tx.userAbort();
+  });
+  for (std::size_t I = 0; I < 8; ++I)
+    EXPECT_EQ(Arr.unsafeGet(I), 100 + static_cast<int64_t>(I));
+}
+
+TEST(StmBasic, ValidateTrueWithoutConcurrency) {
+  Point P;
+  Stm::atomic([&](TxManager &Tx) {
+    Tx.openForRead(&P);
+    EXPECT_TRUE(Tx.validate());
+    Tx.validateOrAbort(); // must not throw
+  });
+}
+
+TEST(StmBasic, CompactLogsForGcDeduplicates) {
+  ConfigGuard Guard;
+  TxManager::config().FilterReads = false;
+  TxManager::config().FilterUndo = false;
+  Point P, Q;
+  Stm::atomic([&](TxManager &Tx) {
+    for (int I = 0; I < 4; ++I) {
+      Tx.openForRead(&P);
+      Tx.openForRead(&Q);
+    }
+    Tx.openForUpdate(&P);
+    for (int I = 0; I < 3; ++I) {
+      Tx.logUndo(&P.X);
+      P.X.store(I);
+    }
+    EXPECT_EQ(Tx.readLogSizeForTesting(), 8u);
+    EXPECT_EQ(Tx.undoLogSizeForTesting(), 3u);
+    auto [ReadsRemoved, UndosRemoved] = Tx.compactLogsForGc();
+    EXPECT_EQ(ReadsRemoved, 6u);
+    EXPECT_EQ(UndosRemoved, 2u);
+    EXPECT_EQ(Tx.readLogSizeForTesting(), 2u);
+    EXPECT_EQ(Tx.undoLogSizeForTesting(), 1u);
+    Tx.userAbort(); // replay the compacted undo log
+  });
+  EXPECT_EQ(P.X.load(), 0) << "compaction must keep the oldest undo value";
+}
+
+TEST(StmBasic, StatsFlushAggregatesGlobally) {
+  Stm::resetGlobalStats();
+  Point P;
+  Stm::atomic([&](TxManager &Tx) { Tx.write(&P, &Point::X, int64_t{1}); });
+  TxManager::current().flushStats();
+  TxStats G = Stm::globalStats();
+  EXPECT_GE(G.Commits, 1u);
+  EXPECT_GE(G.OpensForUpdate, 1u);
+}
+
+TEST(StmBasic, AtomicResultReturnsValue) {
+  Point P;
+  P.X.store(21);
+  int64_t V = Stm::atomicResult(
+      [&](TxManager &Tx) { return Tx.read(&P, &Point::X) * 2; });
+  EXPECT_EQ(V, 42);
+}

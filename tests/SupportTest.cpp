@@ -1,0 +1,179 @@
+//===- tests/SupportTest.cpp - Support library unit tests ----------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Backoff.h"
+#include "support/ChunkedVector.h"
+#include "support/Random.h"
+#include "support/ThreadBarrier.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace otm;
+
+TEST(Random, DeterministicForSameSeed) {
+  Xoshiro256 A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Xoshiro256 A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += (A.next() == B.next());
+  EXPECT_LT(Same, 3);
+}
+
+TEST(Random, NextBelowStaysInRange) {
+  Xoshiro256 Rng(7);
+  for (uint64_t Bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(Rng.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(Random, NextBelowCoversSmallRange) {
+  Xoshiro256 Rng(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 200; ++I)
+    Seen.insert(Rng.nextBelow(4));
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Xoshiro256 Rng(11);
+  for (int I = 0; I < 1000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Random, PercentExtremes) {
+  Xoshiro256 Rng(13);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(Rng.nextPercent(0));
+    EXPECT_TRUE(Rng.nextPercent(100));
+  }
+}
+
+TEST(ChunkedVector, AppendAndIndex) {
+  ChunkedVector<int, 4> V;
+  for (int I = 0; I < 100; ++I)
+    V.emplaceBack(I);
+  ASSERT_EQ(V.size(), 100u);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(V[I], I);
+}
+
+TEST(ChunkedVector, AddressesStableAcrossGrowth) {
+  ChunkedVector<int, 4> V;
+  std::vector<int *> Ptrs;
+  for (int I = 0; I < 64; ++I)
+    Ptrs.push_back(V.emplaceBack(I));
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(*Ptrs[I], I) << "entry moved after later appends";
+}
+
+TEST(ChunkedVector, ClearRetainsCapacityAndReuses) {
+  ChunkedVector<int, 4> V;
+  for (int I = 0; I < 10; ++I)
+    V.emplaceBack(I);
+  V.clear();
+  EXPECT_EQ(V.size(), 0u);
+  EXPECT_TRUE(V.empty());
+  V.emplaceBack(99);
+  EXPECT_EQ(V[0], 99);
+}
+
+TEST(ChunkedVector, PopBackRemovesLast) {
+  ChunkedVector<int, 4> V;
+  V.emplaceBack(1);
+  V.emplaceBack(2);
+  V.popBack();
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V.back(), 1);
+}
+
+TEST(ChunkedVector, ForEachReverseVisitsInReverse) {
+  ChunkedVector<int, 4> V;
+  for (int I = 0; I < 9; ++I)
+    V.emplaceBack(I);
+  std::vector<int> Seen;
+  V.forEachReverse([&](int X) { Seen.push_back(X); });
+  ASSERT_EQ(Seen.size(), 9u);
+  for (int I = 0; I < 9; ++I)
+    EXPECT_EQ(Seen[I], 8 - I);
+}
+
+TEST(ChunkedVector, RemoveIfKeepsOrderAndCounts) {
+  ChunkedVector<int, 4> V;
+  for (int I = 0; I < 20; ++I)
+    V.emplaceBack(I);
+  std::size_t Removed = V.removeIf([](int X) { return X % 2 == 0; });
+  EXPECT_EQ(Removed, 10u);
+  ASSERT_EQ(V.size(), 10u);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(V[I], 2 * I + 1);
+}
+
+TEST(ChunkedVector, RemoveIfNothingMatches) {
+  ChunkedVector<int, 4> V;
+  for (int I = 0; I < 5; ++I)
+    V.emplaceBack(I);
+  EXPECT_EQ(V.removeIf([](int) { return false; }), 0u);
+  EXPECT_EQ(V.size(), 5u);
+}
+
+TEST(Backoff, RoundsEscalate) {
+  Backoff B(1);
+  for (int I = 0; I < 3; ++I)
+    B.pause();
+  EXPECT_EQ(B.rounds(), 3u);
+  B.reset();
+  EXPECT_EQ(B.rounds(), 0u);
+}
+
+TEST(ThreadBarrier, ReleasesAllThreads) {
+  constexpr int NumThreads = 4;
+  ThreadBarrier Barrier(NumThreads);
+  std::atomic<int> Before{0}, After{0};
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([&] {
+      ++Before;
+      Barrier.arriveAndWait();
+      // Every thread must have arrived before any proceeds.
+      EXPECT_EQ(Before.load(), NumThreads);
+      ++After;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(After.load(), NumThreads);
+}
+
+TEST(ThreadBarrier, Reusable) {
+  constexpr int NumThreads = 3;
+  ThreadBarrier Barrier(NumThreads);
+  std::atomic<int> Counter{0};
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([&] {
+      for (int Round = 0; Round < 5; ++Round) {
+        Barrier.arriveAndWait();
+        ++Counter;
+        Barrier.arriveAndWait();
+        EXPECT_EQ(Counter.load() % NumThreads, 0);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Counter.load(), NumThreads * 5);
+}

@@ -1,0 +1,157 @@
+//===- tests/SyncBaselinesTest.cpp - Lock baseline tests ------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/FineGrainedHashMap.h"
+#include "sync/HandOverHandList.h"
+
+#include "support/Random.h"
+#include "support/ThreadBarrier.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+using namespace otm;
+using namespace otm::sync;
+
+TEST(FineGrainedHashMap, BasicOps) {
+  FineGrainedHashMap Map(64);
+  EXPECT_TRUE(Map.insert(1, 10));
+  EXPECT_FALSE(Map.insert(1, 11));
+  int64_t V = 0;
+  ASSERT_TRUE(Map.lookup(1, V));
+  EXPECT_EQ(V, 11);
+  EXPECT_FALSE(Map.lookup(2, V));
+  EXPECT_TRUE(Map.erase(1));
+  EXPECT_FALSE(Map.erase(1));
+  EXPECT_EQ(Map.sizeSlow(), 0u);
+}
+
+TEST(FineGrainedHashMap, RandomAgainstModel) {
+  FineGrainedHashMap Map(32);
+  std::map<int64_t, int64_t> Model;
+  Xoshiro256 Rng(5);
+  for (int I = 0; I < 3000; ++I) {
+    int64_t Key = static_cast<int64_t>(Rng.nextBelow(300));
+    switch (Rng.nextBelow(3)) {
+    case 0: {
+      int64_t Value = static_cast<int64_t>(Rng.next() & 0xffff);
+      EXPECT_EQ(Map.insert(Key, Value), Model.find(Key) == Model.end());
+      Model[Key] = Value;
+      break;
+    }
+    case 1:
+      EXPECT_EQ(Map.erase(Key), Model.erase(Key) == 1);
+      break;
+    default: {
+      int64_t V = 0;
+      auto It = Model.find(Key);
+      EXPECT_EQ(Map.lookup(Key, V), It != Model.end());
+      if (It != Model.end())
+        EXPECT_EQ(V, It->second);
+    }
+    }
+  }
+  EXPECT_EQ(Map.sizeSlow(), Model.size());
+}
+
+TEST(FineGrainedHashMap, ConcurrentDisjointInserts) {
+  FineGrainedHashMap Map(256);
+  constexpr int NumThreads = 4, PerThread = 2000;
+  ThreadBarrier Barrier(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Barrier.arriveAndWait();
+      for (int64_t I = 0; I < PerThread; ++I)
+        Map.insert(T * 100000 + I, I);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Map.sizeSlow(), NumThreads * PerThread);
+}
+
+TEST(HandOverHandListTest, BasicOps) {
+  HandOverHandList List;
+  EXPECT_TRUE(List.insert(5, 50));
+  EXPECT_TRUE(List.insert(1, 10));
+  EXPECT_TRUE(List.insert(3, 30));
+  EXPECT_FALSE(List.insert(3, 31));
+  int64_t V = 0;
+  ASSERT_TRUE(List.lookup(3, V));
+  EXPECT_EQ(V, 31);
+  EXPECT_TRUE(List.erase(1));
+  EXPECT_FALSE(List.contains(1));
+  EXPECT_EQ(List.sizeSlow(), 2u);
+  EXPECT_TRUE(List.isSortedSlow());
+}
+
+TEST(HandOverHandListTest, RandomAgainstModel) {
+  HandOverHandList List;
+  std::map<int64_t, int64_t> Model;
+  Xoshiro256 Rng(17);
+  for (int I = 0; I < 3000; ++I) {
+    int64_t Key = static_cast<int64_t>(Rng.nextBelow(200));
+    if (Rng.nextPercent(60)) {
+      int64_t Value = static_cast<int64_t>(Rng.next() & 0xffff);
+      EXPECT_EQ(List.insert(Key, Value), Model.find(Key) == Model.end());
+      Model[Key] = Value;
+    } else {
+      EXPECT_EQ(List.erase(Key), Model.erase(Key) == 1);
+    }
+  }
+  EXPECT_EQ(List.sizeSlow(), Model.size());
+  EXPECT_TRUE(List.isSortedSlow());
+}
+
+TEST(HandOverHandListTest, ConcurrentInterleavedInserts) {
+  HandOverHandList List;
+  constexpr int NumThreads = 4, PerThread = 500;
+  ThreadBarrier Barrier(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Barrier.arriveAndWait();
+      for (int64_t I = 0; I < PerThread; ++I)
+        List.insert(I * NumThreads + T, T);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(List.sizeSlow(), NumThreads * PerThread);
+  EXPECT_TRUE(List.isSortedSlow());
+}
+
+TEST(HandOverHandListTest, ConcurrentMixedOpsStaySorted) {
+  HandOverHandList List;
+  for (int64_t K = 0; K < 100; ++K)
+    List.insert(K * 2, K);
+  constexpr int NumThreads = 4;
+  ThreadBarrier Barrier(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(300 + T);
+      Barrier.arriveAndWait();
+      for (int I = 0; I < 1500; ++I) {
+        int64_t Key = static_cast<int64_t>(Rng.nextBelow(300));
+        switch (Rng.nextBelow(3)) {
+        case 0:
+          List.insert(Key, T);
+          break;
+        case 1:
+          List.erase(Key);
+          break;
+        default:
+          List.contains(Key);
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_TRUE(List.isSortedSlow());
+}
