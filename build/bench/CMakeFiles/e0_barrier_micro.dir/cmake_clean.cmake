@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e0_barrier_micro.dir/e0_barrier_micro.cpp.o"
+  "CMakeFiles/e0_barrier_micro.dir/e0_barrier_micro.cpp.o.d"
+  "e0_barrier_micro"
+  "e0_barrier_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e0_barrier_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_seq_overhead.dir/e1_seq_overhead.cpp.o"
+  "CMakeFiles/e1_seq_overhead.dir/e1_seq_overhead.cpp.o.d"
+  "e1_seq_overhead"
+  "e1_seq_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_seq_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

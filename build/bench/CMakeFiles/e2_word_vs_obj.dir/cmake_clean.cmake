@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_word_vs_obj.dir/e2_word_vs_obj.cpp.o"
+  "CMakeFiles/e2_word_vs_obj.dir/e2_word_vs_obj.cpp.o.d"
+  "e2_word_vs_obj"
+  "e2_word_vs_obj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_word_vs_obj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

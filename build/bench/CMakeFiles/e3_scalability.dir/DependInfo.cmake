@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e3_scalability.cpp" "bench/CMakeFiles/e3_scalability.dir/e3_scalability.cpp.o" "gcc" "bench/CMakeFiles/e3_scalability.dir/e3_scalability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wstm/CMakeFiles/otm_wstm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/otm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/otm_gc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_scalability.dir/e3_scalability.cpp.o"
+  "CMakeFiles/e3_scalability.dir/e3_scalability.cpp.o.d"
+  "e3_scalability"
+  "e3_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

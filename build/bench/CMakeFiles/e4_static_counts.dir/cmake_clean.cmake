@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_static_counts.dir/e4_static_counts.cpp.o"
+  "CMakeFiles/e4_static_counts.dir/e4_static_counts.cpp.o.d"
+  "e4_static_counts"
+  "e4_static_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_static_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

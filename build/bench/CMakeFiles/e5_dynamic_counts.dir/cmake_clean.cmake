@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_dynamic_counts.dir/e5_dynamic_counts.cpp.o"
+  "CMakeFiles/e5_dynamic_counts.dir/e5_dynamic_counts.cpp.o.d"
+  "e5_dynamic_counts"
+  "e5_dynamic_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_dynamic_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_upgrade.dir/e6_upgrade.cpp.o"
+  "CMakeFiles/e6_upgrade.dir/e6_upgrade.cpp.o.d"
+  "e6_upgrade"
+  "e6_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

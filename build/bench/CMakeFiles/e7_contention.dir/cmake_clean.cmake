@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_contention.dir/e7_contention.cpp.o"
+  "CMakeFiles/e7_contention.dir/e7_contention.cpp.o.d"
+  "e7_contention"
+  "e7_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_gc_logs.dir/e8_gc_logs.cpp.o"
+  "CMakeFiles/e8_gc_logs.dir/e8_gc_logs.cpp.o.d"
+  "e8_gc_logs"
+  "e8_gc_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_gc_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

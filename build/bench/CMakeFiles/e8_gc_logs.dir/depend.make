@@ -1,0 +1,2 @@
+# Empty dependencies file for e8_gc_logs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory.dir/directory.cpp.o"
+  "CMakeFiles/directory.dir/directory.cpp.o.d"
+  "directory"
+  "directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txc.dir/txc.cpp.o"
+  "CMakeFiles/txc.dir/txc.cpp.o.d"
+  "txc"
+  "txc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

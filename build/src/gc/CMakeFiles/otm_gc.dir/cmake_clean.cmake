@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_gc.dir/EpochManager.cpp.o"
+  "CMakeFiles/otm_gc.dir/EpochManager.cpp.o.d"
+  "libotm_gc.a"
+  "libotm_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

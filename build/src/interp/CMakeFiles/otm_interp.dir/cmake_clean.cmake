@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_interp.dir/Heap.cpp.o"
+  "CMakeFiles/otm_interp.dir/Heap.cpp.o.d"
+  "CMakeFiles/otm_interp.dir/Interp.cpp.o"
+  "CMakeFiles/otm_interp.dir/Interp.cpp.o.d"
+  "libotm_interp.a"
+  "libotm_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/AllocElision.cpp" "src/passes/CMakeFiles/otm_passes.dir/AllocElision.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/AllocElision.cpp.o.d"
+  "/root/repo/src/passes/ConstFold.cpp" "src/passes/CMakeFiles/otm_passes.dir/ConstFold.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/ConstFold.cpp.o.d"
+  "/root/repo/src/passes/DCE.cpp" "src/passes/CMakeFiles/otm_passes.dir/DCE.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/DCE.cpp.o.d"
+  "/root/repo/src/passes/Inline.cpp" "src/passes/CMakeFiles/otm_passes.dir/Inline.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/Inline.cpp.o.d"
+  "/root/repo/src/passes/LocalCSE.cpp" "src/passes/CMakeFiles/otm_passes.dir/LocalCSE.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/LocalCSE.cpp.o.d"
+  "/root/repo/src/passes/LowerAtomic.cpp" "src/passes/CMakeFiles/otm_passes.dir/LowerAtomic.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/LowerAtomic.cpp.o.d"
+  "/root/repo/src/passes/OpenElim.cpp" "src/passes/CMakeFiles/otm_passes.dir/OpenElim.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/OpenElim.cpp.o.d"
+  "/root/repo/src/passes/OpenLicm.cpp" "src/passes/CMakeFiles/otm_passes.dir/OpenLicm.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/OpenLicm.cpp.o.d"
+  "/root/repo/src/passes/Pass.cpp" "src/passes/CMakeFiles/otm_passes.dir/Pass.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/Pass.cpp.o.d"
+  "/root/repo/src/passes/Pipeline.cpp" "src/passes/CMakeFiles/otm_passes.dir/Pipeline.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/passes/SimplifyCFG.cpp" "src/passes/CMakeFiles/otm_passes.dir/SimplifyCFG.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/SimplifyCFG.cpp.o.d"
+  "/root/repo/src/passes/TxClone.cpp" "src/passes/CMakeFiles/otm_passes.dir/TxClone.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/TxClone.cpp.o.d"
+  "/root/repo/src/passes/Upgrade.cpp" "src/passes/CMakeFiles/otm_passes.dir/Upgrade.cpp.o" "gcc" "src/passes/CMakeFiles/otm_passes.dir/Upgrade.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tmir/CMakeFiles/otm_tmir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_passes.dir/AllocElision.cpp.o"
+  "CMakeFiles/otm_passes.dir/AllocElision.cpp.o.d"
+  "CMakeFiles/otm_passes.dir/ConstFold.cpp.o"
+  "CMakeFiles/otm_passes.dir/ConstFold.cpp.o.d"
+  "CMakeFiles/otm_passes.dir/DCE.cpp.o"
+  "CMakeFiles/otm_passes.dir/DCE.cpp.o.d"
+  "CMakeFiles/otm_passes.dir/Inline.cpp.o"
+  "CMakeFiles/otm_passes.dir/Inline.cpp.o.d"
+  "CMakeFiles/otm_passes.dir/LocalCSE.cpp.o"
+  "CMakeFiles/otm_passes.dir/LocalCSE.cpp.o.d"
+  "CMakeFiles/otm_passes.dir/LowerAtomic.cpp.o"
+  "CMakeFiles/otm_passes.dir/LowerAtomic.cpp.o.d"
+  "CMakeFiles/otm_passes.dir/OpenElim.cpp.o"
+  "CMakeFiles/otm_passes.dir/OpenElim.cpp.o.d"
+  "CMakeFiles/otm_passes.dir/OpenLicm.cpp.o"
+  "CMakeFiles/otm_passes.dir/OpenLicm.cpp.o.d"
+  "CMakeFiles/otm_passes.dir/Pass.cpp.o"
+  "CMakeFiles/otm_passes.dir/Pass.cpp.o.d"
+  "CMakeFiles/otm_passes.dir/Pipeline.cpp.o"
+  "CMakeFiles/otm_passes.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/otm_passes.dir/SimplifyCFG.cpp.o"
+  "CMakeFiles/otm_passes.dir/SimplifyCFG.cpp.o.d"
+  "CMakeFiles/otm_passes.dir/TxClone.cpp.o"
+  "CMakeFiles/otm_passes.dir/TxClone.cpp.o.d"
+  "CMakeFiles/otm_passes.dir/Upgrade.cpp.o"
+  "CMakeFiles/otm_passes.dir/Upgrade.cpp.o.d"
+  "libotm_passes.a"
+  "libotm_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_stm.dir/TxManager.cpp.o"
+  "CMakeFiles/otm_stm.dir/TxManager.cpp.o.d"
+  "libotm_stm.a"
+  "libotm_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmir/AtomicRegions.cpp" "src/tmir/CMakeFiles/otm_tmir.dir/AtomicRegions.cpp.o" "gcc" "src/tmir/CMakeFiles/otm_tmir.dir/AtomicRegions.cpp.o.d"
+  "/root/repo/src/tmir/Dominators.cpp" "src/tmir/CMakeFiles/otm_tmir.dir/Dominators.cpp.o" "gcc" "src/tmir/CMakeFiles/otm_tmir.dir/Dominators.cpp.o.d"
+  "/root/repo/src/tmir/IR.cpp" "src/tmir/CMakeFiles/otm_tmir.dir/IR.cpp.o" "gcc" "src/tmir/CMakeFiles/otm_tmir.dir/IR.cpp.o.d"
+  "/root/repo/src/tmir/LoopInfo.cpp" "src/tmir/CMakeFiles/otm_tmir.dir/LoopInfo.cpp.o" "gcc" "src/tmir/CMakeFiles/otm_tmir.dir/LoopInfo.cpp.o.d"
+  "/root/repo/src/tmir/Parser.cpp" "src/tmir/CMakeFiles/otm_tmir.dir/Parser.cpp.o" "gcc" "src/tmir/CMakeFiles/otm_tmir.dir/Parser.cpp.o.d"
+  "/root/repo/src/tmir/Verifier.cpp" "src/tmir/CMakeFiles/otm_tmir.dir/Verifier.cpp.o" "gcc" "src/tmir/CMakeFiles/otm_tmir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_tmir.dir/AtomicRegions.cpp.o"
+  "CMakeFiles/otm_tmir.dir/AtomicRegions.cpp.o.d"
+  "CMakeFiles/otm_tmir.dir/Dominators.cpp.o"
+  "CMakeFiles/otm_tmir.dir/Dominators.cpp.o.d"
+  "CMakeFiles/otm_tmir.dir/IR.cpp.o"
+  "CMakeFiles/otm_tmir.dir/IR.cpp.o.d"
+  "CMakeFiles/otm_tmir.dir/LoopInfo.cpp.o"
+  "CMakeFiles/otm_tmir.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/otm_tmir.dir/Parser.cpp.o"
+  "CMakeFiles/otm_tmir.dir/Parser.cpp.o.d"
+  "CMakeFiles/otm_tmir.dir/Verifier.cpp.o"
+  "CMakeFiles/otm_tmir.dir/Verifier.cpp.o.d"
+  "libotm_tmir.a"
+  "libotm_tmir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_tmir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

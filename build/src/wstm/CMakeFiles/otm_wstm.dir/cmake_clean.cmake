@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otm_wstm.dir/WordStm.cpp.o"
+  "CMakeFiles/otm_wstm.dir/WordStm.cpp.o.d"
+  "libotm_wstm.a"
+  "libotm_wstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otm_wstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

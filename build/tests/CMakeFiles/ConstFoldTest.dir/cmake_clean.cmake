@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ConstFoldTest.dir/ConstFoldTest.cpp.o"
+  "CMakeFiles/ConstFoldTest.dir/ConstFoldTest.cpp.o.d"
+  "ConstFoldTest"
+  "ConstFoldTest.pdb"
+  "ConstFoldTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ConstFoldTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ContainersListMapTest.dir/ContainersListMapTest.cpp.o"
+  "CMakeFiles/ContainersListMapTest.dir/ContainersListMapTest.cpp.o.d"
+  "ContainersListMapTest"
+  "ContainersListMapTest.pdb"
+  "ContainersListMapTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ContainersListMapTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

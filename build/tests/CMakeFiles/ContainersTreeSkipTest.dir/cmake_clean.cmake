@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ContainersTreeSkipTest.dir/ContainersTreeSkipTest.cpp.o"
+  "CMakeFiles/ContainersTreeSkipTest.dir/ContainersTreeSkipTest.cpp.o.d"
+  "ContainersTreeSkipTest"
+  "ContainersTreeSkipTest.pdb"
+  "ContainersTreeSkipTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ContainersTreeSkipTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EndToEndTest.dir/EndToEndTest.cpp.o"
+  "CMakeFiles/EndToEndTest.dir/EndToEndTest.cpp.o.d"
+  "EndToEndTest"
+  "EndToEndTest.pdb"
+  "EndToEndTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EndToEndTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EpochManagerTest.dir/EpochManagerTest.cpp.o"
+  "CMakeFiles/EpochManagerTest.dir/EpochManagerTest.cpp.o.d"
+  "EpochManagerTest"
+  "EpochManagerTest.pdb"
+  "EpochManagerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EpochManagerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/InlineTest.dir/InlineTest.cpp.o"
+  "CMakeFiles/InlineTest.dir/InlineTest.cpp.o.d"
+  "InlineTest"
+  "InlineTest.pdb"
+  "InlineTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/InlineTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

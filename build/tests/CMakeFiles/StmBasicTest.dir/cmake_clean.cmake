@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StmBasicTest.dir/StmBasicTest.cpp.o"
+  "CMakeFiles/StmBasicTest.dir/StmBasicTest.cpp.o.d"
+  "StmBasicTest"
+  "StmBasicTest.pdb"
+  "StmBasicTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StmBasicTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

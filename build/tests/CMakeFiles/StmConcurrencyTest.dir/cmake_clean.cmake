@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StmConcurrencyTest.dir/StmConcurrencyTest.cpp.o"
+  "CMakeFiles/StmConcurrencyTest.dir/StmConcurrencyTest.cpp.o.d"
+  "StmConcurrencyTest"
+  "StmConcurrencyTest.pdb"
+  "StmConcurrencyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StmConcurrencyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

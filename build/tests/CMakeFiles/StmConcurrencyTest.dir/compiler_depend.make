@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for StmConcurrencyTest.
+# This may be replaced when dependencies are built.

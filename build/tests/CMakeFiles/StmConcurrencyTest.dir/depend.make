@@ -1,0 +1,2 @@
+# Empty dependencies file for StmConcurrencyTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StmPropertyTest.dir/StmPropertyTest.cpp.o"
+  "CMakeFiles/StmPropertyTest.dir/StmPropertyTest.cpp.o.d"
+  "StmPropertyTest"
+  "StmPropertyTest.pdb"
+  "StmPropertyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StmPropertyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

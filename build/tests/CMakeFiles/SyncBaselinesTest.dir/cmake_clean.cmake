@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SyncBaselinesTest.dir/SyncBaselinesTest.cpp.o"
+  "CMakeFiles/SyncBaselinesTest.dir/SyncBaselinesTest.cpp.o.d"
+  "SyncBaselinesTest"
+  "SyncBaselinesTest.pdb"
+  "SyncBaselinesTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SyncBaselinesTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

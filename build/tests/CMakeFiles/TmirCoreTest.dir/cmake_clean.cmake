@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TmirCoreTest.dir/TmirCoreTest.cpp.o"
+  "CMakeFiles/TmirCoreTest.dir/TmirCoreTest.cpp.o.d"
+  "TmirCoreTest"
+  "TmirCoreTest.pdb"
+  "TmirCoreTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TmirCoreTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/WordStmTest.dir/WordStmTest.cpp.o"
+  "CMakeFiles/WordStmTest.dir/WordStmTest.cpp.o.d"
+  "WordStmTest"
+  "WordStmTest.pdb"
+  "WordStmTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/WordStmTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

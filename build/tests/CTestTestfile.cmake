@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/SupportTest[1]_include.cmake")
+include("/root/repo/build/tests/EpochManagerTest[1]_include.cmake")
+include("/root/repo/build/tests/StmBasicTest[1]_include.cmake")
+include("/root/repo/build/tests/StmConcurrencyTest[1]_include.cmake")
+include("/root/repo/build/tests/WordStmTest[1]_include.cmake")
+include("/root/repo/build/tests/ContainersListMapTest[1]_include.cmake")
+include("/root/repo/build/tests/TmirCoreTest[1]_include.cmake")
+include("/root/repo/build/tests/PassesTest[1]_include.cmake")
+include("/root/repo/build/tests/InterpTest[1]_include.cmake")
+include("/root/repo/build/tests/ContainersTreeSkipTest[1]_include.cmake")
+include("/root/repo/build/tests/EndToEndTest[1]_include.cmake")
+include("/root/repo/build/tests/InlineTest[1]_include.cmake")
+include("/root/repo/build/tests/ConstFoldTest[1]_include.cmake")
+include("/root/repo/build/tests/SyncBaselinesTest[1]_include.cmake")
+include("/root/repo/build/tests/StmPropertyTest[1]_include.cmake")
