@@ -14,14 +14,22 @@
 #ifndef OTM_BENCH_BENCHUTIL_H
 #define OTM_BENCH_BENCHUTIL_H
 
+#include "obs/StatsReporter.h"
+#include "obs/Statistic.h"
+#include "obs/TraceRing.h"
+#include "obs/TxObs.h"
+#include "stm/StatsJson.h"
 #include "stm/Stm.h"
 #include "wstm/WordStm.h"
 #include "support/ThreadBarrier.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace otm {
@@ -75,6 +83,80 @@ inline void printHeaderRule() {
   std::printf("--------------------------------------------------------------"
               "----------------\n");
 }
+
+/// True when the process runs as a smoke test (OTM_BENCH_SMOKE=1): the
+/// binaries shrink their workloads to seconds-not-minutes sizes while still
+/// exercising every code path and emitting their JSON documents.
+inline bool smokeMode() {
+  static const bool On = [] {
+    const char *E = std::getenv("OTM_BENCH_SMOKE");
+    return E && E[0] == '1';
+  }();
+  return On;
+}
+
+/// \p Full in a real run, \p Small under OTM_BENCH_SMOKE=1.
+inline std::size_t scaled(std::size_t Full, std::size_t Small) {
+  return smokeMode() ? Small : Full;
+}
+
+/// One measurement row for a BenchReport: {label, seconds, ops, ops_per_sec}
+/// plus whatever the caller sets afterwards.
+inline obs::JsonValue makeRun(const std::string &Label, double Seconds,
+                              uint64_t Ops) {
+  obs::JsonValue Run = obs::JsonValue::object();
+  Run.set("label", Label);
+  Run.set("seconds", Seconds);
+  Run.set("ops", Ops);
+  Run.set("ops_per_sec", Seconds > 0 ? double(Ops) / Seconds : 0.0);
+  return Run;
+}
+
+/// Per-binary stats document: collects measurement rows and, at write(),
+/// folds in the STM counter/histogram snapshot, abort attribution, and pass
+/// statistics, then lands BENCH_<stem>.json (and a Chrome trace next to it
+/// when OTM_TRACE=1). Construction turns on latency sampling so the
+/// histograms fill; pass SampleLatencies=false when the binary measures the
+/// barrier fast path itself (sampling adds two TSC reads per transaction,
+/// which is exactly what such a binary must not include).
+class BenchReport {
+public:
+  BenchReport(std::string BenchName, std::string Stem,
+              bool SampleLatencies = true)
+      : Reporter(std::move(BenchName)), FileStem(std::move(Stem)) {
+    if (SampleLatencies)
+      obs::setSampling(true);
+  }
+
+  void addRun(obs::JsonValue Run) { Reporter.addRun(std::move(Run)); }
+  void addSection(const std::string &Key, obs::JsonValue V) {
+    Reporter.addSection(Key, std::move(V));
+  }
+
+  void write() {
+    stm::TxManager::current().flushStats();
+    wstm::WTxManager::current().flushStats();
+    Reporter.addSection("stm", stm::statsToJson(stm::Stm::globalStats()));
+    Reporter.addSection("abort_sites", stm::abortSitesToJson());
+    Reporter.addSection("pass_stats", obs::Statistic::allToJson());
+    std::string Path =
+        obs::StatsReporter::outputPath("BENCH_" + FileStem + ".json");
+    if (Reporter.writeFile(Path))
+      std::printf("[stats] wrote %s\n", Path.c_str());
+    else
+      std::fprintf(stderr, "[stats] FAILED to write %s\n", Path.c_str());
+    if (obs::TraceRing::enabled()) {
+      std::string TracePath =
+          obs::StatsReporter::outputPath("BENCH_" + FileStem + ".trace.json");
+      if (obs::TraceRing::writeChromeTrace(TracePath))
+        std::printf("[trace] wrote %s\n", TracePath.c_str());
+    }
+  }
+
+private:
+  obs::StatsReporter Reporter;
+  std::string FileStem;
+};
 
 } // namespace bench
 } // namespace otm

@@ -11,11 +11,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchUtil.h"
 #include "stm/HashFilter.h"
 #include "stm/Stm.h"
 #include "wstm/WordStm.h"
 
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 using namespace otm;
 using namespace otm::stm;
@@ -125,6 +128,48 @@ void BM_UncontendedRawLoad(benchmark::State &State) {
 }
 BENCHMARK(BM_UncontendedRawLoad);
 
+/// Console output as usual, plus every run captured into the BENCH_E0.json
+/// document (ns/op per primitive is the paper's Table-barrier-cost data).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+public:
+  explicit JsonCaptureReporter(bench::BenchReport &Report) : Report(Report) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.error_occurred)
+        continue;
+      obs::JsonValue J = obs::JsonValue::object();
+      J.set("label", R.benchmark_name());
+      J.set("real_time_ns", R.GetAdjustedRealTime());
+      J.set("cpu_time_ns", R.GetAdjustedCPUTime());
+      J.set("iterations", static_cast<uint64_t>(R.iterations));
+      Report.addRun(std::move(J));
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+private:
+  bench::BenchReport &Report;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  char MinTime[] = "--benchmark_min_time=0.01";
+  if (bench::smokeMode())
+    Args.push_back(MinTime);
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  // No latency sampling: E0 measures the barrier fast path itself, so the
+  // per-transaction TSC reads that sampling adds must stay out of the loop.
+  bench::BenchReport Report("e0_barrier_micro", "E0",
+                            /*SampleLatencies=*/false);
+  JsonCaptureReporter Reporter(Report);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  Report.write();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -31,10 +31,10 @@ using namespace otm::containers;
 
 namespace {
 
-constexpr int ListOps = 20000;
-constexpr int MapOps = 300000;
-constexpr int TreeOps = 200000;
-constexpr int SkipOps = 150000;
+const int ListOps = static_cast<int>(scaled(20000, 500));
+const int MapOps = static_cast<int>(scaled(300000, 2000));
+const int TreeOps = static_cast<int>(scaled(200000, 2000));
+const int SkipOps = static_cast<int>(scaled(150000, 2000));
 
 template <typename Policy> double kernelSortedList() {
   SortedList<Policy> List;
@@ -162,20 +162,34 @@ void printRow(const Row &R) {
 } // namespace
 
 int main() {
+  BenchReport Report("e1_seq_overhead", "E1");
+  auto emitRow = [&](const Row &R) {
+    printRow(R);
+    const char *Configs[] = {"seq", "coarse-lock", "word-stm",
+                             "obj-stm-naive", "obj-stm-opt"};
+    double NsPerOp[] = {R.Seq, R.Coarse, R.Word, R.Naive, R.Opt};
+    for (int I = 0; I < 5; ++I) {
+      obs::JsonValue Run = obs::JsonValue::object();
+      Run.set("label", std::string(R.Kernel) + "/" + Configs[I]);
+      Run.set("ns_per_op", NsPerOp[I]);
+      Report.addRun(std::move(Run));
+    }
+  };
   std::printf("E1: single-thread overhead, ns/op (slowdown vs seq)\n");
   std::printf("workloads: 80%% lookup / 10%% insert / 10%% erase\n");
   printHeaderRule();
   std::printf("%-12s %9s %16s %16s %16s %16s\n", "kernel", "seq",
               "coarse-lock", "word-stm", "obj-stm-naive", "obj-stm-opt");
   printHeaderRule();
-  printRow(RUN_KERNEL("sorted-list", kernelSortedList));
+  emitRow(RUN_KERNEL("sorted-list", kernelSortedList));
   std::printf("%-12s %9.1f   (hand-over-hand lock-coupling baseline)\n",
               "  hoh-list", kernelHohList());
-  printRow(RUN_KERNEL("hashmap", kernelHashMap));
-  printRow(RUN_KERNEL("rbtree", kernelRBTree));
-  printRow(RUN_KERNEL("skiplist", kernelSkipList));
+  emitRow(RUN_KERNEL("hashmap", kernelHashMap));
+  emitRow(RUN_KERNEL("rbtree", kernelRBTree));
+  emitRow(RUN_KERNEL("skiplist", kernelSkipList));
   printHeaderRule();
   std::printf("expected shape: naive >> opt > coarse ~ seq; opt recovers "
               "most of the naive overhead\n");
+  Report.write();
   return 0;
 }

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <memory>
 #include <vector>
 
@@ -31,7 +32,7 @@ using namespace otm::wstm;
 namespace {
 
 constexpr int NumObjects = 256;
-constexpr int OpsPerConfig = 200000;
+const int OpsPerConfig = static_cast<int>(scaled(200000, 2000));
 
 /// Object STM: each "object" is a TxArray of F fields → one STM word.
 double runObjStm(unsigned FieldsPerObject) {
@@ -83,6 +84,7 @@ double runWordStm(unsigned FieldsPerObject) {
 } // namespace
 
 int main() {
+  BenchReport Report("e2_word_vs_obj", "E2");
   std::printf("E2: object-granularity (1 open/object) vs word-granularity "
               "(1 barrier/field)\n");
   std::printf("transaction = read F fields, write 1; single thread, %d "
@@ -94,14 +96,23 @@ int main() {
   for (unsigned F : {2u, 4u, 8u, 16u, 32u}) {
     // Best of three: a single-core host can timeslice mid-measurement.
     double Obj = 1e30, Word = 1e30;
-    for (int Rep = 0; Rep < 3; ++Rep) {
+    for (int Rep = 0, Reps = smokeMode() ? 1 : 3; Rep < Reps; ++Rep) {
       Obj = std::min(Obj, runObjStm(F));
       Word = std::min(Word, runWordStm(F));
     }
     std::printf("%8u %14.1f %14.1f %9.2fx\n", F, Obj, Word, Word / Obj);
+    obs::JsonValue ObjRun = obs::JsonValue::object();
+    ObjRun.set("label", "obj-stm/fields=" + std::to_string(F));
+    ObjRun.set("ns_per_op", Obj);
+    Report.addRun(std::move(ObjRun));
+    obs::JsonValue WordRun = obs::JsonValue::object();
+    WordRun.set("label", "word-stm/fields=" + std::to_string(F));
+    WordRun.set("ns_per_op", Word);
+    Report.addRun(std::move(WordRun));
   }
   printHeaderRule();
   std::printf("expected shape: ratio grows with F — object metadata "
               "amortizes, word metadata does not\n");
+  Report.write();
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "sync/FineGrainedHashMap.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace otm;
 using namespace otm::bench;
@@ -28,7 +29,7 @@ namespace {
 
 constexpr int KeySpace = 8192;
 constexpr int Buckets = 2048;
-constexpr int OpsPerThread = 60000;
+const int OpsPerThread = static_cast<int>(scaled(60000, 1500));
 constexpr unsigned UpdatePercent = 20; // 10% insert + 10% erase
 
 template <typename MapType>
@@ -75,6 +76,7 @@ double runFineGrained(unsigned Threads) {
 } // namespace
 
 int main() {
+  BenchReport Report("e3_scalability", "E3");
   unsigned Cores = std::thread::hardware_concurrency();
   std::printf("E3: hashtable throughput vs threads (Mops/s), %u%% updates, "
               "%d keys, host cores: %u\n",
@@ -85,6 +87,8 @@ int main() {
               "opt aborts/starts");
   printHeaderRule();
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    if (smokeMode() && Threads > 4)
+      break;
     stm::TxStats Ignored;
     double Coarse = runStmConfig<CoarseLockPolicy>(Threads, Ignored);
     double Fine = runFineGrained(Threads);
@@ -96,10 +100,26 @@ int main() {
                 Threads, Coarse, Fine, Word, Naive, Opt,
                 static_cast<unsigned long long>(OptStats.Aborts),
                 static_cast<unsigned long long>(OptStats.Starts));
+    struct {
+      const char *Config;
+      double Mops;
+    } Rows[] = {{"coarse", Coarse}, {"fine-lock", Fine}, {"word-stm", Word},
+                {"obj-naive", Naive}, {"obj-opt", Opt}};
+    for (auto &R : Rows) {
+      obs::JsonValue Run = obs::JsonValue::object();
+      Run.set("label",
+              std::string(R.Config) + "/threads=" + std::to_string(Threads));
+      Run.set("mops_per_sec", R.Mops);
+      Run.set("threads", uint64_t(Threads));
+      Report.addRun(std::move(Run));
+    }
+    Report.addSection("obj_opt_stats_t" + std::to_string(Threads),
+                      stm::statsToJson(OptStats));
   }
   printHeaderRule();
   std::printf("expected shape: obj-opt > obj-naive everywhere; on "
               "multi-core hosts obj-opt approaches fine-lock and passes "
               "coarse as threads grow\n");
+  Report.write();
   return 0;
 }

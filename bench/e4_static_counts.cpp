@@ -12,12 +12,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchUtil.h"
 #include "bench/TmirPrograms.h"
 #include "passes/Pipeline.h"
 #include "tmir/Parser.h"
 #include "tmir/Verifier.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace otm;
 using namespace otm::bench;
@@ -41,6 +43,7 @@ unsigned barriersUnder(const char *Source, const OptConfig &Config) {
 } // namespace
 
 int main() {
+  otm::bench::BenchReport Report("e4_static_counts", "E4");
   ConfigStep Steps[] = {
       {"naive", OptConfig::none()},
       {"+inline", [] {
@@ -105,6 +108,11 @@ int main() {
         PostInline = N; // the +inline column is the optimization baseline
       Last = N;
       std::printf(" %10u", N);
+      obs::JsonValue Run = obs::JsonValue::object();
+      Run.set("label",
+              std::string(Programs[P].Name) + "/" + Steps[S].Name);
+      Run.set("static_barriers", uint64_t(N));
+      Report.addRun(std::move(Run));
     }
     // Reduction relative to the inlined program: inlining itself trades
     // static duplication for dynamic wins (E5), so it is the baseline the
@@ -119,5 +127,6 @@ int main() {
   std::printf("expected shape: steady decrease after the inline step (which "
               "may duplicate bodies statically); open-elim is the big win; "
               "alloc elision zeroes churn\n");
+  Report.write();
   return 0;
 }

@@ -17,6 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchUtil.h"
 #include "bench/TmirPrograms.h"
 #include "interp/Interp.h"
 #include "passes/Pipeline.h"
@@ -25,6 +26,7 @@
 #include "tmir/Verifier.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace otm;
 using namespace otm::bench;
@@ -85,6 +87,7 @@ void printSample(const char *Config, const RunSample &S) {
 } // namespace
 
 int main() {
+  BenchReport Report("e5_dynamic_counts", "E5");
   unsigned NumPrograms = 0;
   const TmirProgram *Programs = tmirPrograms(NumPrograms);
 
@@ -102,6 +105,23 @@ int main() {
     printSample("naive", Naive);
     printSample("naive, no filter", NoFilter);
     printSample("optimized", Opt);
+    struct {
+      const char *Config;
+      const RunSample *S;
+    } Samples[] = {{"naive", &Naive}, {"naive-no-filter", &NoFilter},
+                   {"optimized", &Opt}};
+    for (auto &Row : Samples) {
+      obs::JsonValue Run = obs::JsonValue::object();
+      Run.set("label",
+              std::string(Programs[P].Name) + "/" + Row.Config);
+      Run.set("opens", uint64_t(Row.S->Opens));
+      Run.set("read_appends", uint64_t(Row.S->ReadAppends));
+      Run.set("reads_filtered", uint64_t(Row.S->ReadsFiltered));
+      Run.set("undo_appends", uint64_t(Row.S->UndoAppends));
+      Run.set("undos_filtered", uint64_t(Row.S->UndosFiltered));
+      Run.set("result", int64_t(Row.S->Result));
+      Report.addRun(std::move(Run));
+    }
     if (Naive.Result != Opt.Result || Naive.Result != NoFilter.Result) {
       std::fprintf(stderr, "e5: %s: configs disagree (%lld vs %lld)\n",
                    Programs[P].Name, Naive.Result, Opt.Result);
@@ -118,5 +138,6 @@ int main() {
   std::printf("expected shape: optimized executes fewest opens; without "
               "filtering the naive log appends balloon (what the paper's "
               "runtime filtering prevents)\n");
+  Report.write();
   return 0;
 }

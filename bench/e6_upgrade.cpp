@@ -24,6 +24,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 using namespace otm;
 using namespace otm::bench;
@@ -79,10 +80,23 @@ Sample runConfig(const TmirProgram &P, bool WithUpgrade) {
   return S;
 }
 
-void runProgram(const char *Name) {
+void runProgram(const char *Name, BenchReport &Report) {
   const TmirProgram &P = programNamed(Name);
   Sample Off = runConfig(P, false);
   Sample On = runConfig(P, true);
+  struct {
+    const char *Config;
+    const Sample *S;
+  } Rows[] = {{"upgrade-off", &Off}, {"upgrade-on", &On}};
+  for (auto &R : Rows) {
+    obs::JsonValue Run = obs::JsonValue::object();
+    Run.set("label", std::string(Name) + "/" + R.Config);
+    Run.set("seconds", R.S->Seconds);
+    Run.set("open_read", uint64_t(R.S->OpenR));
+    Run.set("open_update", uint64_t(R.S->OpenU));
+    Run.set("read_log_appends", uint64_t(R.S->ReadLogAppends));
+    Report.addRun(std::move(Run));
+  }
   std::printf("%-12s upgrade off  %10.4f %12llu %12llu %12llu\n", Name,
               Off.Seconds, Off.OpenR, Off.OpenU, Off.ReadLogAppends);
   std::printf("%-12s upgrade on   %10.4f %12llu %12llu %12llu\n", Name,
@@ -96,16 +110,18 @@ void runProgram(const char *Name) {
 } // namespace
 
 int main() {
+  BenchReport Report("e6_upgrade", "E6");
   std::printf("E6: read-to-update upgrade (single thread, interpreter)\n");
   printHeaderRule();
   std::printf("%-12s %-12s %10s %12s %12s %12s\n", "program", "config",
               "time(s)", "open_read", "open_update", "rd-appends");
   printHeaderRule();
-  runProgram("bank");
-  runProgram("bst-insert");
+  runProgram("bank", Report);
+  runProgram("bst-insert", Report);
   printHeaderRule();
   std::printf("expected shape: bank halves its opens and empties its read "
               "set (reads upgraded away); bst-insert is unchanged because "
               "its reads and writes target different references\n");
+  Report.write();
   return 0;
 }

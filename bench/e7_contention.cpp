@@ -26,6 +26,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -36,13 +37,13 @@ using namespace otm::stm;
 namespace {
 
 constexpr unsigned NumThreads = 4;
-constexpr int TxPerThread = 1500;
+const int TxPerThread = static_cast<int>(scaled(1500, 150));
 
 struct Item : TxObject {
   Field<int64_t> Value;
 };
 
-void runCell(unsigned WritePercent, unsigned HotSet) {
+void runCell(unsigned WritePercent, unsigned HotSet, BenchReport &Report) {
   std::vector<std::unique_ptr<Item>> Pool;
   for (unsigned I = 0; I < HotSet; ++I)
     Pool.push_back(std::make_unique<Item>());
@@ -86,11 +87,24 @@ void runCell(unsigned WritePercent, unsigned HotSet) {
               static_cast<unsigned long long>(S.AbortsOnConflict),
               static_cast<unsigned long long>(S.AbortsOnValidation),
               AbortPct);
+  obs::JsonValue Run = obs::JsonValue::object();
+  Run.set("label", "writes=" + std::to_string(WritePercent) +
+                       "%/objs=" + std::to_string(HotSet));
+  Run.set("ktx_per_sec", Ktps);
+  Run.set("commits", S.Commits);
+  Run.set("aborts", S.Aborts);
+  Run.set("aborts_on_conflict", S.AbortsOnConflict);
+  Run.set("aborts_on_validation", S.AbortsOnValidation);
+  Run.set("abort_percent", AbortPct);
+  // Attribution for THIS cell: the next cell's StatsCapture resets it.
+  Run.set("abort_sites", stm::abortSitesToJson(8));
+  Report.addRun(std::move(Run));
 }
 
 } // namespace
 
 int main() {
+  BenchReport Report("e7_contention", "E7");
   std::printf("E7: aborts vs write ratio and hot-set size (%u threads, "
               "read-modify-write transactions)\n", NumThreads);
   printHeaderRule();
@@ -100,11 +114,12 @@ int main() {
   printHeaderRule();
   for (unsigned WritePercent : {0u, 10u, 50u, 100u})
     for (unsigned HotSet : {4u, 64u, 4096u})
-      runCell(WritePercent, HotSet);
+      runCell(WritePercent, HotSet, Report);
   printHeaderRule();
   std::printf("expected shape: abort rate rises with write ratio and falls "
               "with pool size; eager ownership makes open-time conflicts "
               "the dominant cause, with commit-time validation failures "
               "from racing readers\n");
+  Report.write();
   return 0;
 }

@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchUtil.h"
 #include "interp/Interp.h"
 #include "passes/Pipeline.h"
 #include "stm/Stm.h"
@@ -21,8 +22,10 @@
 #include "tmir/Verifier.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace otm;
+using namespace otm::bench;
 using namespace otm::interp;
 using namespace otm::passes;
 using namespace otm::tmir;
@@ -107,15 +110,25 @@ Sample runOnce(bool Filters, uint64_t GcEvery, const OptConfig &Config,
   return S;
 }
 
-void printSample(const char *Label, const Sample &S) {
+void printSample(const char *Label, const Sample &S, BenchReport &Report) {
   std::printf("%-34s %6llu %9llu %10llu %10llu %6llu\n", Label,
               S.Collections, S.Freed, S.ReadDropped, S.UndoDropped, S.Live);
+  obs::JsonValue Run = obs::JsonValue::object();
+  Run.set("label", Label);
+  Run.set("collections", uint64_t(S.Collections));
+  Run.set("objects_freed", uint64_t(S.Freed));
+  Run.set("read_entries_dropped", uint64_t(S.ReadDropped));
+  Run.set("undo_entries_dropped", uint64_t(S.UndoDropped));
+  Run.set("live_objects", uint64_t(S.Live));
+  Run.set("result", int64_t(S.Result));
+  Report.addRun(std::move(Run));
 }
 
 } // namespace
 
 int main() {
-  constexpr long long Iterations = 20000;
+  BenchReport Report("e8_gc_logs", "E8");
+  const long long Iterations = static_cast<long long>(scaled(20000, 1000));
   std::printf("E8: GC log compaction during one long transaction "
               "(%lld iterations, GC every 256 allocs)\n", Iterations);
   std::printf("---------------------------------------------------------------"
@@ -126,13 +139,13 @@ int main() {
               "---------------\n");
   Sample NoFilterGc =
       runOnce(false, 256, OptConfig::none(), Iterations);
-  printSample("naive, no filter, GC on", NoFilterGc);
+  printSample("naive, no filter, GC on", NoFilterGc, Report);
   Sample FilterGc = runOnce(true, 256, OptConfig::none(), Iterations);
-  printSample("naive, filter on, GC on", FilterGc);
+  printSample("naive, filter on, GC on", FilterGc, Report);
   Sample OptGc = runOnce(true, 256, OptConfig::all(), Iterations);
-  printSample("optimized, filter on, GC on", OptGc);
+  printSample("optimized, filter on, GC on", OptGc, Report);
   Sample NoGc = runOnce(false, 0, OptConfig::none(), Iterations);
-  printSample("naive, no filter, GC off", NoGc);
+  printSample("naive, no filter, GC off", NoGc, Report);
   std::printf("---------------------------------------------------------------"
               "---------------\n");
 
@@ -147,5 +160,6 @@ int main() {
               "barriers) there is almost nothing left to compact; garbage "
               "allocated inside the live transaction is reclaimed while it "
               "runs\n");
+  Report.write();
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "interp/Interp.h"
 
+#include "obs/TraceRing.h"
 #include "stm/Stm.h"
 #include "support/Backoff.h"
 #include "support/Compiler.h"
@@ -85,6 +86,8 @@ HeapObject *Interpreter::makeArray(std::size_t Length) {
 
 void Interpreter::collectGarbage() {
   stm::TxManager &Tx = stm::TxManager::current();
+  obs::TraceRing *Ring = obs::TraceRing::forCurrentThread();
+  OTM_TRACE_EVENT(Ring, obs::EventKind::GcBegin, nullptr, 0);
   TheHeap.collect([&](auto Mark) {
     for (Frame *Fr : TlFrames) {
       Function &F = *Fr->F;
@@ -114,6 +117,7 @@ void Interpreter::collectGarbage() {
       });
     }
   });
+  OTM_TRACE_EVENT(Ring, obs::EventKind::GcEnd, nullptr, 0);
 }
 
 Interpreter::RunResult Interpreter::run(const std::string &Name,

@@ -1,0 +1,96 @@
+//===- obs/AbortSites.cpp - Per-address abort attribution ------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/AbortSites.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace otm;
+using namespace otm::obs;
+
+AbortSites &AbortSites::instance() {
+  static AbortSites A;
+  return A;
+}
+
+void AbortSites::record(const void *Addr, AbortCause Cause,
+                        uint32_t OwnerSite) {
+  uintptr_t Key = reinterpret_cast<uintptr_t>(Addr);
+  if (!Key)
+    return;
+  // Fibonacci hash; objects are pointer-aligned so low bits carry nothing.
+  std::size_t H = static_cast<std::size_t>(
+      (static_cast<uint64_t>(Key) * 0x9e3779b97f4a7c15ULL) >> 32);
+  for (std::size_t P = 0; P < MaxProbe; ++P) {
+    Slot &S = Slots[(H + P) & (NumSlots - 1)];
+    uintptr_t Cur = S.Addr.load(std::memory_order_relaxed);
+    if (Cur == 0) {
+      if (!S.Addr.compare_exchange_strong(Cur, Key,
+                                          std::memory_order_relaxed))
+        if (Cur != Key)
+          continue; // someone claimed it for a different address
+    } else if (Cur != Key) {
+      continue;
+    }
+    if (Cause == AbortCause::Conflict)
+      S.Conflicts.fetch_add(1, std::memory_order_relaxed);
+    else
+      S.Validations.fetch_add(1, std::memory_order_relaxed);
+    if (OwnerSite)
+      S.LastOwner.store(OwnerSite, std::memory_order_relaxed);
+    return;
+  }
+  Dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<AbortSites::Site> AbortSites::topK(std::size_t K) const {
+  std::vector<Site> All;
+  for (const Slot &S : Slots) {
+    uintptr_t Addr = S.Addr.load(std::memory_order_relaxed);
+    if (!Addr)
+      continue;
+    Site Out;
+    Out.Addr = Addr;
+    Out.Conflicts = S.Conflicts.load(std::memory_order_relaxed);
+    Out.Validations = S.Validations.load(std::memory_order_relaxed);
+    Out.LastOwnerSite = S.LastOwner.load(std::memory_order_relaxed);
+    if (Out.total())
+      All.push_back(Out);
+  }
+  std::sort(All.begin(), All.end(), [](const Site &A, const Site &B) {
+    return A.total() > B.total();
+  });
+  if (All.size() > K)
+    All.resize(K);
+  return All;
+}
+
+void AbortSites::reset() {
+  for (Slot &S : Slots) {
+    S.Addr.store(0, std::memory_order_relaxed);
+    S.Conflicts.store(0, std::memory_order_relaxed);
+    S.Validations.store(0, std::memory_order_relaxed);
+    S.LastOwner.store(0, std::memory_order_relaxed);
+  }
+  Dropped.store(0, std::memory_order_relaxed);
+}
+
+JsonValue AbortSites::toJson(std::size_t K) const {
+  JsonValue Arr = JsonValue::array();
+  for (const Site &S : topK(K)) {
+    JsonValue Entry = JsonValue::object();
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                  static_cast<unsigned long long>(S.Addr));
+    Entry.set("addr", Buf);
+    Entry.set("conflicts", S.Conflicts);
+    Entry.set("validations", S.Validations);
+    Entry.set("last_owner_site", static_cast<uint64_t>(S.LastOwnerSite));
+    Arr.push(std::move(Entry));
+  }
+  return Arr;
+}

@@ -1,0 +1,83 @@
+//===- obs/AbortSites.h - Per-address abort attribution --------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size lock-free table attributing aborts to the conflicting
+/// object (object STM) or lock stripe (word STM) address, split by cause,
+/// with the site id of the last owning transaction. This is the data the
+/// contention experiments (E7) need to answer *which* objects transactions
+/// fight over, not just how often they abort.
+///
+/// Recording happens only on abort paths — already the slow path — so the
+/// table uses plain open addressing with relaxed atomics and drops
+/// (counting the drops) when full rather than resizing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_OBS_ABORTSITES_H
+#define OTM_OBS_ABORTSITES_H
+
+#include "obs/Json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace otm {
+namespace obs {
+
+/// Abort causes the attribution table distinguishes.
+enum class AbortCause : uint16_t { Conflict = 0, Validation = 1 };
+
+class AbortSites {
+public:
+  static AbortSites &instance();
+
+  /// Lock-free; safe from any thread. \p OwnerSite is the site id of the
+  /// transaction that owned the address (0 when unknown, e.g. the owner
+  /// released between the conflict and the read).
+  void record(const void *Addr, AbortCause Cause, uint32_t OwnerSite);
+
+  struct Site {
+    uintptr_t Addr = 0;
+    uint64_t Conflicts = 0;
+    uint64_t Validations = 0;
+    uint32_t LastOwnerSite = 0;
+    uint64_t total() const { return Conflicts + Validations; }
+  };
+
+  /// The \p K most-aborted addresses, most contended first.
+  std::vector<Site> topK(std::size_t K) const;
+
+  /// Aborts not attributed because the table was full.
+  uint64_t dropped() const { return Dropped.load(std::memory_order_relaxed); }
+
+  void reset();
+
+  /// [{addr, conflicts, validations, last_owner_site}, ...] for the top-K.
+  JsonValue toJson(std::size_t K) const;
+
+private:
+  AbortSites() = default;
+
+  static constexpr std::size_t NumSlots = 1024; // power of two
+  static constexpr std::size_t MaxProbe = 16;
+
+  struct Slot {
+    std::atomic<uintptr_t> Addr{0};
+    std::atomic<uint64_t> Conflicts{0};
+    std::atomic<uint64_t> Validations{0};
+    std::atomic<uint32_t> LastOwner{0};
+  };
+
+  Slot Slots[NumSlots];
+  std::atomic<uint64_t> Dropped{0};
+};
+
+} // namespace obs
+} // namespace otm
+
+#endif // OTM_OBS_ABORTSITES_H

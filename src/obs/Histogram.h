@@ -1,0 +1,140 @@
+//===- obs/Histogram.h - Power-of-two latency histograms -------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-size power-of-two histograms for latency and count distributions.
+/// Bucket 0 holds exact zeros; bucket B (B >= 1) holds values in
+/// [2^(B-1), 2^B), with the last bucket absorbing the tail. Recording is a
+/// bit-width computation and three increments, cheap enough for the STM
+/// commit path when sampling is enabled.
+///
+/// Two variants share the bucketing: Histogram is plain (per-thread, no
+/// synchronization, lives inside stm::TxStats) and AtomicHistogram is the
+/// process-wide aggregate the per-thread blocks flush into.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_OBS_HISTOGRAM_H
+#define OTM_OBS_HISTOGRAM_H
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace otm {
+namespace obs {
+
+/// Shared bucketing scheme.
+struct HistogramBuckets {
+  static constexpr unsigned Num = 64;
+
+  static unsigned bucketFor(uint64_t V) {
+    if (V == 0)
+      return 0;
+    unsigned Width = static_cast<unsigned>(std::bit_width(V)); // 1..64
+    return Width < Num ? Width : Num - 1;
+  }
+
+  /// Smallest value that lands in bucket \p B.
+  static uint64_t lowerBound(unsigned B) {
+    return B == 0 ? 0 : uint64_t{1} << (B - 1);
+  }
+};
+
+/// Plain (unsynchronized) histogram; copyable so stats snapshots stay
+/// value types.
+class Histogram {
+public:
+  void record(uint64_t V) {
+    ++Buckets[HistogramBuckets::bucketFor(V)];
+    ++Count;
+    Sum += V;
+    if (V > Max)
+      Max = V;
+  }
+
+  void merge(const Histogram &O) {
+    for (unsigned B = 0; B < HistogramBuckets::Num; ++B)
+      Buckets[B] += O.Buckets[B];
+    Count += O.Count;
+    Sum += O.Sum;
+    if (O.Max > Max)
+      Max = O.Max;
+  }
+
+  void reset() { *this = Histogram(); }
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  uint64_t max() const { return Max; }
+  double mean() const {
+    return Count ? static_cast<double>(Sum) / static_cast<double>(Count) : 0.0;
+  }
+  uint64_t bucket(unsigned B) const { return Buckets[B]; }
+
+  /// Visits (lowerBound, count) for every non-empty bucket.
+  template <typename FnType> void forEachBucket(FnType Fn) const {
+    for (unsigned B = 0; B < HistogramBuckets::Num; ++B)
+      if (Buckets[B])
+        Fn(HistogramBuckets::lowerBound(B), Buckets[B]);
+  }
+
+private:
+  friend class AtomicHistogram; // snapshot() rebuilds a Histogram in place
+
+  uint64_t Buckets[HistogramBuckets::Num] = {};
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Max = 0;
+};
+
+/// Process-wide aggregate; add() folds a per-thread Histogram in with
+/// relaxed atomics (same memory-order policy as GlobalTxStats).
+class AtomicHistogram {
+public:
+  void add(const Histogram &O) {
+    O.forEachBucket([&](uint64_t Lower, uint64_t N) {
+      Buckets[HistogramBuckets::bucketFor(Lower)].fetch_add(
+          N, std::memory_order_relaxed);
+    });
+    Count.fetch_add(O.count(), std::memory_order_relaxed);
+    Sum.fetch_add(O.sum(), std::memory_order_relaxed);
+    uint64_t Seen = Max.load(std::memory_order_relaxed);
+    while (O.max() > Seen &&
+           !Max.compare_exchange_weak(Seen, O.max(),
+                                      std::memory_order_relaxed))
+      ;
+  }
+
+  Histogram snapshot() const {
+    Histogram H;
+    for (unsigned B = 0; B < HistogramBuckets::Num; ++B)
+      H.Buckets[B] = Buckets[B].load(std::memory_order_relaxed);
+    H.Count = Count.load(std::memory_order_relaxed);
+    H.Sum = Sum.load(std::memory_order_relaxed);
+    H.Max = Max.load(std::memory_order_relaxed);
+    return H;
+  }
+
+  void reset() {
+    for (unsigned B = 0; B < HistogramBuckets::Num; ++B)
+      Buckets[B].store(0, std::memory_order_relaxed);
+    Count.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    Max.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[HistogramBuckets::Num] = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+};
+
+} // namespace obs
+} // namespace otm
+
+#endif // OTM_OBS_HISTOGRAM_H

@@ -1,0 +1,372 @@
+//===- obs/Json.cpp - Minimal JSON document model --------------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace otm;
+using namespace otm::obs;
+
+JsonValue &JsonValue::set(const std::string &Key, JsonValue V) {
+  for (auto &KV : Members)
+    if (KV.first == Key) {
+      KV.second = std::move(V);
+      return KV.second;
+    }
+  Members.emplace_back(Key, std::move(V));
+  return Members.back().second;
+}
+
+const JsonValue *JsonValue::get(const std::string &Key) const {
+  for (const auto &KV : Members)
+    if (KV.first == Key)
+      return &KV.second;
+  return nullptr;
+}
+
+JsonValue &JsonValue::push(JsonValue V) {
+  Elements.push_back(std::move(V));
+  return Elements.back();
+}
+
+bool JsonValue::operator==(const JsonValue &O) const {
+  if (isNumber() && O.isNumber())
+    return asDouble() == O.asDouble();
+  if (K != O.K)
+    return false;
+  switch (K) {
+  case Kind::Null:
+    return true;
+  case Kind::Bool:
+    return B == O.B;
+  case Kind::String:
+    return S == O.S;
+  case Kind::Array:
+    return Elements == O.Elements;
+  case Kind::Object:
+    return Members == O.Members;
+  default:
+    return true; // numbers handled above
+  }
+}
+
+namespace {
+
+void escapeTo(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void newlineIndent(std::string &Out, unsigned Indent, unsigned Depth) {
+  if (!Indent)
+    return;
+  Out += '\n';
+  Out.append(static_cast<std::size_t>(Indent) * Depth, ' ');
+}
+
+} // namespace
+
+void JsonValue::dumpTo(std::string &Out, unsigned Indent,
+                       unsigned Depth) const {
+  char Buf[64];
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += B ? "true" : "false";
+    break;
+  case Kind::UInt:
+    std::snprintf(Buf, sizeof(Buf), "%llu",
+                  static_cast<unsigned long long>(U));
+    Out += Buf;
+    break;
+  case Kind::Int:
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(I));
+    Out += Buf;
+    break;
+  case Kind::Double:
+    if (std::isfinite(D)) {
+      std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+      Out += Buf;
+    } else {
+      Out += "null"; // JSON has no inf/nan
+    }
+    break;
+  case Kind::String:
+    escapeTo(Out, S);
+    break;
+  case Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const JsonValue &E : Elements) {
+      if (!First)
+        Out += ',';
+      First = false;
+      newlineIndent(Out, Indent, Depth + 1);
+      E.dumpTo(Out, Indent, Depth + 1);
+    }
+    if (!Elements.empty())
+      newlineIndent(Out, Indent, Depth);
+    Out += ']';
+    break;
+  }
+  case Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &KV : Members) {
+      if (!First)
+        Out += ',';
+      First = false;
+      newlineIndent(Out, Indent, Depth + 1);
+      escapeTo(Out, KV.first);
+      Out += Indent ? ": " : ":";
+      KV.second.dumpTo(Out, Indent, Depth + 1);
+    }
+    if (!Members.empty())
+      newlineIndent(Out, Indent, Depth);
+    Out += '}';
+    break;
+  }
+  }
+}
+
+std::string JsonValue::dump(unsigned Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  JsonValue run() {
+    JsonValue V = parseValue();
+    skipWs();
+    if (!Failed && Pos != Text.size())
+      fail("trailing characters");
+    return Failed ? JsonValue() : V;
+  }
+
+private:
+  void fail(const char *Msg) {
+    if (!Failed && Error) {
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf), "%s at offset %zu", Msg, Pos);
+      *Error = Buf;
+    }
+    Failed = true;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Lit) {
+    std::size_t N = std::char_traits<char>::length(Lit);
+    if (Text.compare(Pos, N, Lit) == 0) {
+      Pos += N;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parseValue() {
+    skipWs();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return JsonValue();
+    }
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"')
+      return JsonValue(parseString());
+    if (literal("true"))
+      return JsonValue(true);
+    if (literal("false"))
+      return JsonValue(false);
+    if (literal("null"))
+      return JsonValue();
+    return parseNumber();
+  }
+
+  std::string parseString() {
+    std::string Out;
+    if (!consume('"')) {
+      fail("expected string");
+      return Out;
+    }
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'u': {
+        if (Pos + 4 <= Text.size()) {
+          unsigned V =
+              static_cast<unsigned>(std::strtoul(
+                  Text.substr(Pos, 4).c_str(), nullptr, 16));
+          Pos += 4;
+          Out += static_cast<char>(V & 0x7f); // ASCII escapes only
+        }
+        break;
+      }
+      default:
+        Out += E; // covers \" \\ \/
+      }
+    }
+    if (!consume('"'))
+      fail("unterminated string");
+    return Out;
+  }
+
+  JsonValue parseNumber() {
+    std::size_t Start = Pos;
+    bool IsNegative = Pos < Text.size() && Text[Pos] == '-';
+    bool IsDouble = false;
+    if (IsNegative)
+      ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E' || C == '+' || C == '-') {
+        IsDouble = true;
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos == Start) {
+      fail("expected value");
+      return JsonValue();
+    }
+    std::string Num = Text.substr(Start, Pos - Start);
+    if (IsDouble)
+      return JsonValue(std::strtod(Num.c_str(), nullptr));
+    if (IsNegative)
+      return JsonValue(
+          static_cast<int64_t>(std::strtoll(Num.c_str(), nullptr, 10)));
+    return JsonValue(
+        static_cast<uint64_t>(std::strtoull(Num.c_str(), nullptr, 10)));
+  }
+
+  JsonValue parseArray() {
+    JsonValue V = JsonValue::array();
+    consume('[');
+    skipWs();
+    if (consume(']'))
+      return V;
+    do {
+      V.push(parseValue());
+      if (Failed)
+        return V;
+    } while (consume(','));
+    if (!consume(']'))
+      fail("expected ']' or ','");
+    return V;
+  }
+
+  JsonValue parseObject() {
+    JsonValue V = JsonValue::object();
+    consume('{');
+    skipWs();
+    if (consume('}'))
+      return V;
+    do {
+      skipWs();
+      std::string Key = parseString();
+      if (Failed || !consume(':')) {
+        fail("expected ':' after key");
+        return V;
+      }
+      V.set(Key, parseValue());
+      if (Failed)
+        return V;
+    } while (consume(','));
+    if (!consume('}'))
+      fail("expected '}' or ','");
+    return V;
+  }
+
+  const std::string &Text;
+  std::string *Error;
+  std::size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace
+
+JsonValue JsonValue::parse(const std::string &Text, std::string *Error) {
+  return Parser(Text, Error).run();
+}

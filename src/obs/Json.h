@@ -1,0 +1,110 @@
+//===- obs/Json.h - Minimal JSON document model ----------------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON value type with a writer and a parser — just enough for
+/// the machine-readable stats the benchmarks emit (BENCH_E*.json) and for
+/// tests to round-trip them. Numbers distinguish unsigned integers from
+/// doubles so 64-bit counters dump exactly; object keys keep insertion
+/// order so reports are stable and diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_OBS_JSON_H
+#define OTM_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace otm {
+namespace obs {
+
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, UInt, Int, Double, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  JsonValue(bool V) : K(Kind::Bool), B(V) {}
+  JsonValue(uint64_t V) : K(Kind::UInt), U(V) {}
+  JsonValue(int64_t V) : K(Kind::Int), I(V) {}
+  JsonValue(int V) : K(Kind::Int), I(V) {}
+  JsonValue(unsigned V) : K(Kind::UInt), U(V) {}
+  JsonValue(double V) : K(Kind::Double), D(V) {}
+  JsonValue(const char *V) : K(Kind::String), S(V) {}
+  JsonValue(std::string V) : K(Kind::String), S(std::move(V)) {}
+
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNumber() const {
+    return K == Kind::UInt || K == Kind::Int || K == Kind::Double;
+  }
+
+  bool asBool() const { return B; }
+  uint64_t asUInt() const {
+    return K == Kind::UInt   ? U
+           : K == Kind::Int  ? static_cast<uint64_t>(I)
+                             : static_cast<uint64_t>(D);
+  }
+  double asDouble() const {
+    return K == Kind::Double ? D
+           : K == Kind::UInt ? static_cast<double>(U)
+                             : static_cast<double>(I);
+  }
+  const std::string &asString() const { return S; }
+
+  /// Object access. set() replaces an existing key; get() returns nullptr
+  /// when absent.
+  JsonValue &set(const std::string &Key, JsonValue V);
+  const JsonValue *get(const std::string &Key) const;
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+
+  /// Array access.
+  JsonValue &push(JsonValue V);
+  std::size_t size() const {
+    return K == Kind::Array ? Elements.size() : Members.size();
+  }
+  const JsonValue &at(std::size_t Idx) const { return Elements[Idx]; }
+
+  /// Serializes; \p Indent > 0 pretty-prints with that many spaces.
+  std::string dump(unsigned Indent = 0) const;
+
+  /// Parses \p Text. On failure returns Null and sets \p Error.
+  static JsonValue parse(const std::string &Text, std::string *Error);
+
+  bool operator==(const JsonValue &O) const;
+  bool operator!=(const JsonValue &O) const { return !(*this == O); }
+
+private:
+  void dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const;
+
+  Kind K;
+  bool B = false;
+  uint64_t U = 0;
+  int64_t I = 0;
+  double D = 0;
+  std::string S;
+  std::vector<JsonValue> Elements;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+} // namespace obs
+} // namespace otm
+
+#endif // OTM_OBS_JSON_H

@@ -1,0 +1,57 @@
+//===- obs/Statistic.cpp - LLVM-style named statistic counters -------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Statistic.h"
+
+using namespace otm;
+using namespace otm::obs;
+
+std::atomic<Statistic *> &Statistic::headStorage() {
+  static std::atomic<Statistic *> Head{nullptr};
+  return Head;
+}
+
+Statistic *Statistic::head() {
+  return headStorage().load(std::memory_order_acquire);
+}
+
+Statistic::Statistic(const char *Group, const char *Name, const char *Desc)
+    : Group(Group), Name(Name), Desc(Desc) {
+  // Lock-free push; constructors run during static init or first use of a
+  // function-local static, both of which may race across threads.
+  std::atomic<Statistic *> &Head = headStorage();
+  Next = Head.load(std::memory_order_relaxed);
+  while (!Head.compare_exchange_weak(Next, this, std::memory_order_release,
+                                     std::memory_order_relaxed))
+    ;
+}
+
+void Statistic::resetAll() {
+  for (Statistic *S = head(); S; S = S->Next)
+    S->Value.store(0, std::memory_order_relaxed);
+}
+
+void Statistic::printAll(std::FILE *Out) {
+  std::fprintf(Out, "=== otm statistics ===\n");
+  for (Statistic *S = head(); S; S = S->Next)
+    if (uint64_t V = S->value())
+      std::fprintf(Out, "%10llu %-14s - %s\n",
+                   static_cast<unsigned long long>(V), S->Group, S->Desc);
+}
+
+JsonValue Statistic::allToJson() {
+  JsonValue Arr = JsonValue::array();
+  for (Statistic *S = head(); S; S = S->Next) {
+    if (!S->value())
+      continue;
+    JsonValue Entry = JsonValue::object();
+    Entry.set("group", S->Group);
+    Entry.set("name", S->Name);
+    Entry.set("value", S->value());
+    Arr.push(std::move(Entry));
+  }
+  return Arr;
+}

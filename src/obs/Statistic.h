@@ -1,0 +1,80 @@
+//===- obs/Statistic.h - LLVM-style named statistic counters ---*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named, self-registering counters in the style of LLVM's `-stats`
+/// facility. A component declares file-local counters with
+/// OTM_STATISTIC(Var, "group", "name", "description") and bumps them as it
+/// works; after a pipeline run the registry can print every non-zero
+/// counter (OTM_PASS_STATS=1) or serialize them into the stats JSON.
+///
+/// Counters are process-wide atomics: they accumulate across pipeline
+/// runs until resetAll(), which benchmarks call between configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_OBS_STATISTIC_H
+#define OTM_OBS_STATISTIC_H
+
+#include "obs/Json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+namespace otm {
+namespace obs {
+
+class Statistic {
+public:
+  Statistic(const char *Group, const char *Name, const char *Desc);
+
+  Statistic &operator+=(uint64_t N) {
+    Value.fetch_add(N, std::memory_order_relaxed);
+    return *this;
+  }
+  Statistic &operator++() { return *this += 1; }
+
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+  const char *description() const { return Desc; }
+
+  /// Zeroes every registered counter.
+  static void resetAll();
+
+  /// Prints every non-zero counter, LLVM `-stats` style:
+  ///   <value> <group> - <description>
+  static void printAll(std::FILE *Out);
+
+  /// [{group, name, value}, ...] for every non-zero counter.
+  static JsonValue allToJson();
+
+  /// Visits (const Statistic &) for every registered counter.
+  template <typename FnType> static void forEach(FnType Fn) {
+    for (Statistic *S = head(); S; S = S->Next)
+      Fn(static_cast<const Statistic &>(*S));
+  }
+
+private:
+  static Statistic *head();
+  static std::atomic<Statistic *> &headStorage();
+
+  const char *Group;
+  const char *Name;
+  const char *Desc;
+  std::atomic<uint64_t> Value{0};
+  Statistic *Next = nullptr; // intrusive registry list (push at init)
+};
+
+} // namespace obs
+} // namespace otm
+
+/// Declares a file-local registered counter.
+#define OTM_STATISTIC(Var, Group, Name, Desc)                                  \
+  static ::otm::obs::Statistic Var(Group, Name, Desc)
+
+#endif // OTM_OBS_STATISTIC_H

@@ -1,0 +1,54 @@
+//===- obs/StatsReporter.cpp - Machine-readable stats documents ------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/StatsReporter.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace otm;
+using namespace otm::obs;
+
+StatsReporter::StatsReporter(std::string BenchName)
+    : BenchName(std::move(BenchName)) {}
+
+void StatsReporter::addRun(JsonValue Run) { Runs.push(std::move(Run)); }
+
+void StatsReporter::addSection(const std::string &Key, JsonValue V) {
+  Sections.set(Key, std::move(V));
+}
+
+JsonValue StatsReporter::document() const {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema", "otm-bench-stats-v1");
+  Doc.set("bench", BenchName);
+  Doc.set("runs", Runs);
+  for (const auto &KV : Sections.members())
+    Doc.set(KV.first, KV.second);
+  return Doc;
+}
+
+std::string StatsReporter::toJson(unsigned Indent) const {
+  return document().dump(Indent);
+}
+
+bool StatsReporter::writeFile(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Json = toJson();
+  Json += '\n';
+  bool Ok = std::fwrite(Json.data(), 1, Json.size(), F) == Json.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+std::string StatsReporter::outputPath(const std::string &FileName) {
+  if (const char *Dir = std::getenv("OTM_BENCH_JSON_DIR"))
+    if (Dir[0])
+      return std::string(Dir) + "/" + FileName;
+  return FileName;
+}

@@ -1,0 +1,61 @@
+//===- obs/StatsReporter.h - Machine-readable stats documents --*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assembles one JSON document per benchmark run: identity (bench name,
+/// schema version), a "runs" array of per-configuration measurements, and
+/// arbitrary named sections (STM counter snapshots, histograms, abort
+/// attribution, pass statistics) contributed by the layers that own the
+/// data. The obs library stays dependency-free: callers convert their own
+/// structs to JsonValue (see stm/StatsJson.h) and hand them over.
+///
+/// The perf-trajectory harness consumes these files, so the layout is
+/// stable: {schema, bench, runs: [...], <sections>...}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_OBS_STATSREPORTER_H
+#define OTM_OBS_STATSREPORTER_H
+
+#include "obs/Json.h"
+
+#include <string>
+
+namespace otm {
+namespace obs {
+
+class StatsReporter {
+public:
+  explicit StatsReporter(std::string BenchName);
+
+  /// Appends one measurement row (an object; callers fill label/metrics).
+  void addRun(JsonValue Run);
+
+  /// Sets a named top-level section, replacing any previous value.
+  void addSection(const std::string &Key, JsonValue V);
+
+  /// The assembled document.
+  JsonValue document() const;
+
+  std::string toJson(unsigned Indent = 2) const;
+
+  /// Writes toJson() to \p Path (stdio; returns false on failure).
+  bool writeFile(const std::string &Path) const;
+
+  /// Resolves where bench JSON lands: $OTM_BENCH_JSON_DIR/<FileName> when
+  /// the variable is set, else <FileName> in the working directory.
+  static std::string outputPath(const std::string &FileName);
+
+private:
+  std::string BenchName;
+  JsonValue Runs = JsonValue::array();
+  JsonValue Sections = JsonValue::object();
+};
+
+} // namespace obs
+} // namespace otm
+
+#endif // OTM_OBS_STATSREPORTER_H

@@ -1,0 +1,80 @@
+//===- obs/Tsc.h - Cycle-counter timestamps for tracing --------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A raw hardware timestamp source for the observability layer. Trace
+/// events and latency histograms record unconverted ticks (reading the TSC
+/// is a handful of cycles; converting is not); TscClock calibrates
+/// ticks-per-microsecond lazily, at export time, against steady_clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_OBS_TSC_H
+#define OTM_OBS_TSC_H
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace otm {
+namespace obs {
+
+/// Reads the hardware timestamp counter (or a steady_clock fallback).
+/// Monotonic per-core and, on every machine this project targets
+/// (invariant-TSC x86, generic-timer AArch64), across cores too.
+inline uint64_t readTsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  uint64_t V;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(V));
+  return V;
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Converts raw tick values to microseconds by pairing (tsc, steady_clock)
+/// samples: one at construction, one per conversion request. The longer
+/// the program has run, the better the estimate; for the sub-second runs
+/// of the smoke tests it is still good to a few percent.
+class TscClock {
+public:
+  TscClock()
+      : BaseTsc(readTsc()), BaseTime(std::chrono::steady_clock::now()) {}
+
+  /// Ticks elapsed per microsecond, measured against steady_clock.
+  double ticksPerMicrosecond() const {
+    uint64_t NowTsc = readTsc();
+    auto NowTime = std::chrono::steady_clock::now();
+    double Us =
+        std::chrono::duration<double, std::micro>(NowTime - BaseTime).count();
+    if (Us <= 0 || NowTsc <= BaseTsc)
+      return 1.0;
+    return static_cast<double>(NowTsc - BaseTsc) / Us;
+  }
+
+  /// Microseconds from this clock's epoch to tick value \p Tsc.
+  double toMicroseconds(uint64_t Tsc, double TicksPerUs) const {
+    return (static_cast<double>(Tsc) - static_cast<double>(BaseTsc)) /
+           TicksPerUs;
+  }
+
+  uint64_t baseTsc() const { return BaseTsc; }
+
+private:
+  uint64_t BaseTsc;
+  std::chrono::steady_clock::time_point BaseTime;
+};
+
+} // namespace obs
+} // namespace otm
+
+#endif // OTM_OBS_TSC_H

@@ -1,0 +1,29 @@
+//===- obs/TxObs.cpp - Per-transaction observability hooks -----------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TxObs.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace otm;
+using namespace otm::obs;
+
+namespace {
+/// Seeds SamplingOn from OTM_STATS before main() runs.
+struct SamplingEnvInit {
+  SamplingEnvInit() {
+    const char *V = std::getenv("OTM_STATS");
+    if (V && V[0] && std::strcmp(V, "0") != 0)
+      setSampling(true);
+  }
+} InitSampling;
+} // namespace
+
+uint32_t obs::nextSiteId() {
+  static std::atomic<uint32_t> Next{1};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}

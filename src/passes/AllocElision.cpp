@@ -6,6 +6,7 @@
 
 #include "passes/AllocElision.h"
 
+#include "obs/Statistic.h"
 #include "passes/DataflowUtil.h"
 
 using namespace otm;
@@ -67,6 +68,10 @@ void transferFresh(FactSet &Facts, const Instr &I) {
 
 } // namespace
 
+OTM_STATISTIC(StatFreshBarriersRemoved, "alloc-elision",
+              "fresh-barriers-removed",
+              "barriers removed on transaction-locally allocated objects");
+
 bool AllocElisionPass::run(Module &M) {
   Removed = 0;
   for (std::unique_ptr<Function> &FP : M.Functions) {
@@ -90,5 +95,6 @@ bool AllocElisionPass::run(Module &M) {
       BB->Instrs = std::move(Kept);
     }
   }
+  StatFreshBarriersRemoved += Removed;
   return Removed != 0;
 }

@@ -6,6 +6,8 @@
 
 #include "passes/ConstFold.h"
 
+#include "obs/Statistic.h"
+
 #include <optional>
 
 using namespace otm;
@@ -116,10 +118,14 @@ bool runOnFunction(Function &F, unsigned &Folded) {
 
 } // namespace
 
+OTM_STATISTIC(StatInstrsFolded, "const-fold", "instrs-folded",
+              "instructions folded to constants");
+
 bool ConstFoldPass::run(Module &M) {
   Folded = 0;
   bool Changed = false;
   for (std::unique_ptr<Function> &F : M.Functions)
     Changed |= runOnFunction(*F, Folded);
+  StatInstrsFolded += Folded;
   return Changed;
 }

@@ -6,6 +6,7 @@
 
 #include "passes/Inline.h"
 
+#include "obs/Statistic.h"
 #include "tmir/AtomicRegions.h"
 
 #include <string>
@@ -158,6 +159,9 @@ unsigned runOnFunction(Module &M, Function &Caller, unsigned Budget,
 
 } // namespace
 
+OTM_STATISTIC(StatCallsInlined, "inline", "calls-inlined",
+              "call sites inlined inside atomic regions");
+
 bool InlinePass::run(Module &M) {
   Inlined = 0;
   unsigned Serial = 0;
@@ -169,5 +173,6 @@ bool InlinePass::run(Module &M) {
     if (ThisRound == 0)
       break;
   }
+  StatCallsInlined += Inlined;
   return Inlined != 0;
 }

@@ -6,6 +6,7 @@
 
 #include "passes/LowerAtomic.h"
 
+#include "obs/Statistic.h"
 #include "support/Compiler.h"
 #include "tmir/AtomicRegions.h"
 
@@ -15,6 +16,9 @@
 using namespace otm;
 using namespace otm::passes;
 using namespace otm::tmir;
+
+OTM_STATISTIC(StatBarriersInserted, "lower-atomic", "barriers-inserted",
+              "open/log-undo barriers inserted by naive lowering");
 
 bool LowerAtomicPass::run(Module &M) {
   bool Changed = false;
@@ -42,6 +46,7 @@ bool LowerAtomicPass::run(Module &M) {
             Instr Open = Instr::make(Opcode::OpenForRead);
             Open.Operands.push_back(I.Operands[0]);
             NewInstrs.push_back(std::move(Open));
+            ++StatBarriersInserted;
             Changed = true;
             break;
           }
@@ -54,6 +59,7 @@ bool LowerAtomicPass::run(Module &M) {
             Log.ClassId = I.ClassId;
             Log.FieldIdx = I.FieldIdx;
             NewInstrs.push_back(std::move(Log));
+            StatBarriersInserted += 2;
             Changed = true;
             break;
           }
@@ -65,6 +71,7 @@ bool LowerAtomicPass::run(Module &M) {
             Log.Operands.push_back(I.Operands[0]);
             Log.Operands.push_back(I.Operands[1]);
             NewInstrs.push_back(std::move(Log));
+            StatBarriersInserted += 2;
             Changed = true;
             break;
           }

@@ -6,6 +6,7 @@
 
 #include "passes/OpenElim.h"
 
+#include "obs/Statistic.h"
 #include "passes/DataflowUtil.h"
 
 using namespace otm;
@@ -81,6 +82,9 @@ bool isRedundant(const FactSet &Facts, const Instr &I) {
 
 } // namespace
 
+OTM_STATISTIC(StatOpensElided, "open-elim", "opens-elided",
+              "redundant open-for-read/update barriers removed");
+
 bool OpenElimPass::run(Module &M) {
   Removed = 0;
   for (std::unique_ptr<Function> &FP : M.Functions) {
@@ -101,5 +105,6 @@ bool OpenElimPass::run(Module &M) {
       BB->Instrs = std::move(Kept);
     }
   }
+  StatOpensElided += Removed;
   return Removed != 0;
 }

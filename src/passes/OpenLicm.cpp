@@ -6,6 +6,7 @@
 
 #include "passes/OpenLicm.h"
 
+#include "obs/Statistic.h"
 #include "passes/DataflowUtil.h"
 #include "tmir/AtomicRegions.h"
 #include "tmir/Dominators.h"
@@ -162,6 +163,9 @@ unsigned hoistOnce(Function &F) {
 
 } // namespace
 
+OTM_STATISTIC(StatOpensHoisted, "open-licm", "opens-hoisted",
+              "loop-invariant open barriers hoisted to preheaders");
+
 bool OpenLicmPass::run(Module &M) {
   Hoisted = 0;
   for (std::unique_ptr<Function> &FP : M.Functions) {
@@ -174,5 +178,6 @@ bool OpenLicmPass::run(Module &M) {
       Hoisted += N;
     }
   }
+  StatOpensHoisted += Hoisted;
   return Hoisted != 0;
 }

@@ -6,6 +6,7 @@
 
 #include "passes/Pipeline.h"
 
+#include "obs/Statistic.h"
 #include "passes/AllocElision.h"
 #include "passes/Inline.h"
 #include "passes/ConstFold.h"
@@ -17,6 +18,8 @@
 #include "passes/SimplifyCFG.h"
 #include "passes/TxClone.h"
 #include "passes/Upgrade.h"
+
+#include <cstdlib>
 
 using namespace otm;
 using namespace otm::passes;
@@ -62,5 +65,14 @@ std::vector<PassReport> passes::lowerAndOptimize(tmir::Module &M,
                                                  const OptConfig &Config) {
   PassManager PM;
   buildPipeline(PM, Config);
-  return PM.run(M);
+  std::vector<PassReport> Reports = PM.run(M);
+  // LLVM-style `-stats` dump: opt in with OTM_PASS_STATS=1. Counters
+  // accumulate across runs (obs::Statistic::resetAll() clears them).
+  static const bool PrintStats = [] {
+    const char *E = std::getenv("OTM_PASS_STATS");
+    return E && E[0] == '1';
+  }();
+  if (PrintStats)
+    obs::Statistic::printAll(stderr);
+  return Reports;
 }

@@ -6,6 +6,7 @@
 
 #include "passes/TxClone.h"
 
+#include "obs/Statistic.h"
 #include "tmir/AtomicRegions.h"
 
 #include <vector>
@@ -28,6 +29,9 @@ Function *passes::cloneFunction(Module &M, const Function &F,
   }
   return C;
 }
+
+OTM_STATISTIC(StatCallsRetargeted, "tx-clone", "calls-retargeted",
+              "transactional call sites retargeted to atomic clones");
 
 bool TxClonePass::run(Module &M) {
   bool Changed = false;
@@ -77,6 +81,7 @@ bool TxClonePass::run(Module &M) {
         if (M.Functions[I.CalleeIdx]->IsAllAtomic)
           continue; // already retargeted
         I.CalleeIdx = cloneIdFor(I.CalleeIdx);
+        ++StatCallsRetargeted;
         Changed = true;
       }
   }

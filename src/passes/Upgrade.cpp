@@ -6,6 +6,7 @@
 
 #include "passes/Upgrade.h"
 
+#include "obs/Statistic.h"
 #include "passes/DataflowUtil.h"
 
 using namespace otm;
@@ -36,6 +37,9 @@ void transferAnticipated(FactSet &Facts, const Instr &I) {
 
 } // namespace
 
+OTM_STATISTIC(StatOpensUpgraded, "upgrade", "opens-upgraded",
+              "open-for-read barriers upgraded to open-for-update");
+
 bool UpgradePass::run(Module &M) {
   Upgraded = 0;
   for (std::unique_ptr<Function> &FP : M.Functions) {
@@ -58,5 +62,6 @@ bool UpgradePass::run(Module &M) {
       }
     }
   }
+  StatOpensUpgraded += Upgraded;
   return Upgraded != 0;
 }

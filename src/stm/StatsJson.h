@@ -1,0 +1,68 @@
+//===- stm/StatsJson.h - STM stats to JSON conversion ----------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts STM statistics blocks into obs::JsonValue trees for the
+/// machine-readable BENCH_E*.json documents. Lives on the stm side of the
+/// layering (obs knows nothing about TxStats); BenchUtil and the
+/// experiment binaries are the consumers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_STM_STATSJSON_H
+#define OTM_STM_STATSJSON_H
+
+#include "obs/AbortSites.h"
+#include "obs/Json.h"
+#include "stm/TxStats.h"
+
+namespace otm {
+namespace stm {
+
+inline obs::JsonValue histogramToJson(const obs::Histogram &H) {
+  obs::JsonValue V = obs::JsonValue::object();
+  V.set("count", H.count());
+  V.set("sum", H.sum());
+  V.set("max", H.max());
+  V.set("mean", H.mean());
+  obs::JsonValue Buckets = obs::JsonValue::array();
+  H.forEachBucket([&](uint64_t Lower, uint64_t N) {
+    obs::JsonValue Pair = obs::JsonValue::array();
+    Pair.push(Lower);
+    Pair.push(N);
+    Buckets.push(std::move(Pair));
+  });
+  V.set("buckets_pow2", std::move(Buckets));
+  return V;
+}
+
+/// {counters: {...}, histograms: {...}} for one stats block.
+inline obs::JsonValue statsToJson(const TxStats &S) {
+  obs::JsonValue V = obs::JsonValue::object();
+  obs::JsonValue Counters = obs::JsonValue::object();
+  S.forEachCounter(
+      [&](const char *Name, uint64_t Value) { Counters.set(Name, Value); });
+  V.set("counters", std::move(Counters));
+  obs::JsonValue Histograms = obs::JsonValue::object();
+  S.forEachHistogram([&](const char *Name, const obs::Histogram &H) {
+    Histograms.set(Name, histogramToJson(H));
+  });
+  V.set("histograms", std::move(Histograms));
+  return V;
+}
+
+/// Top-K abort attribution (shared by both STMs).
+inline obs::JsonValue abortSitesToJson(std::size_t K = 16) {
+  obs::JsonValue V = obs::JsonValue::object();
+  V.set("top", obs::AbortSites::instance().toJson(K));
+  V.set("dropped", obs::AbortSites::instance().dropped());
+  return V;
+}
+
+} // namespace stm
+} // namespace otm
+
+#endif // OTM_STM_STATSJSON_H

@@ -23,6 +23,7 @@
 #ifndef OTM_STM_STM_H
 #define OTM_STM_STM_H
 
+#include "obs/AbortSites.h"
 #include "stm/Field.h"
 #include "stm/TxManager.h"
 #include "stm/TxObject.h"
@@ -82,7 +83,10 @@ public:
   static TxStats globalStats() {
     return GlobalTxStats::instance().snapshot();
   }
-  static void resetGlobalStats() { GlobalTxStats::instance().reset(); }
+  static void resetGlobalStats() {
+    GlobalTxStats::instance().reset();
+    obs::AbortSites::instance().reset();
+  }
 };
 
 } // namespace stm

@@ -7,6 +7,7 @@
 #include "stm/TxManager.h"
 
 #include "gc/EpochManager.h"
+#include "obs/AbortSites.h"
 #include "stm/HashFilter.h"
 
 #include <thread>
@@ -29,8 +30,10 @@ struct TlsHolder {
 
 TxManager &TxManager::current() {
   static thread_local TlsHolder Holder;
-  if (OTM_UNLIKELY(!Holder.Manager))
+  if (OTM_UNLIKELY(!Holder.Manager)) {
     Holder.Manager = new TxManager();
+    Holder.Manager->Obs.attachThread();
+  }
   return *Holder.Manager;
 }
 
@@ -54,6 +57,7 @@ void TxManager::begin() {
          AllocLog.empty() && "logs leaked from a previous attempt");
   gc::EpochManager::global().pin();
   ++Stats.Starts;
+  Obs.onBegin(0);
 }
 
 bool TxManager::validateEntry(const ReadEntry &Entry) const {
@@ -110,6 +114,7 @@ bool TxManager::tryCommit() {
 
   if (OTM_UNLIKELY(!validate())) {
     ++Stats.AbortsOnValidation;
+    recordValidationFailureSite();
     rollbackAttempt(AbortTx::Cause::Validation);
     return false;
   }
@@ -118,6 +123,7 @@ bool TxManager::tryCommit() {
   // exclusively ours, so each release makes one update atomically visible.
   releaseOwnershipForCommit();
   ++Stats.Commits;
+  Obs.onCommit(0, Stats.CommitTscCycles, Stats.RetriesPerCommit);
 
   // Deferred frees take effect only now that the deletion is committed;
   // epoch-based retirement protects concurrent zombies still holding refs.
@@ -129,9 +135,20 @@ bool TxManager::tryCommit() {
   return true;
 }
 
+static uint16_t auxCauseFor(AbortTx::Cause Why) {
+  switch (Why) {
+  case AbortTx::Cause::Conflict:
+    return obs::AuxCauseConflict;
+  case AbortTx::Cause::Validation:
+    return obs::AuxCauseValidation;
+  case AbortTx::Cause::User:
+    return obs::AuxCauseUser;
+  }
+  return obs::AuxCauseConflict;
+}
+
 void TxManager::rollbackAttempt(AbortTx::Cause Why) {
   assert(inTx() && "rollbackAttempt outside a transaction");
-  (void)Why;
   // Undo in reverse so multiply-written locations get their oldest value
   // back (only relevant when undo filtering is off and duplicates exist).
   UndoLog.forEachReverse(
@@ -146,6 +163,7 @@ void TxManager::rollbackAttempt(AbortTx::Cause Why) {
       gc::EpochManager::global().retire(Entry.Raw, Entry.Destroy);
   });
   ++Stats.Aborts;
+  Obs.onAbort(auxCauseFor(Why), 0);
   finishAttempt();
 }
 
@@ -160,7 +178,26 @@ WordValue TxManager::waitForUnowned(TxObject *Obj) {
       cpuRelax();
   }
   ++Stats.AbortsOnConflict;
+  // Attribute the conflict to whoever owns the object right now (the owner
+  // may have released it since the last spin; then the site is unknown).
+  WordValue W = Obj->Word.load(std::memory_order_acquire);
+  obs::AbortSites::instance().record(
+      Obj, obs::AbortCause::Conflict,
+      isOwned(W) ? ownerEntry(W)->Owner->siteId() : 0);
   abortAndThrow(AbortTx::Cause::Conflict);
+}
+
+void TxManager::recordValidationFailureSite() {
+  for (std::size_t I = 0, E = ReadLog.size(); I != E; ++I) {
+    const ReadEntry &Entry = ReadLog[I];
+    if (OTM_LIKELY(validateEntry(Entry)))
+      continue;
+    WordValue Cur = Entry.Obj->Word.load(std::memory_order_acquire);
+    obs::AbortSites::instance().record(
+        Entry.Obj, obs::AbortCause::Validation,
+        isOwned(Cur) ? ownerEntry(Cur)->Owner->siteId() : 0);
+    return; // first invalid entry is the one that doomed the attempt
+  }
 }
 
 void TxManager::abortAndThrow(AbortTx::Cause Why) {

@@ -36,6 +36,7 @@
 #ifndef OTM_STM_TXMANAGER_H
 #define OTM_STM_TXMANAGER_H
 
+#include "obs/TxObs.h"
 #include "stm/Field.h"
 #include "stm/HashFilter.h"
 #include "stm/LogEntries.h"
@@ -106,6 +107,7 @@ public:
   void openForRead(TxObject *Obj) {
     assert(inTx() && "openForRead outside a transaction");
     ++Stats.OpensForRead;
+    OTM_TRACE_OPEN_EVENT(Obs.Ring, obs::EventKind::OpenForRead, Obj, 0);
     WordValue W = Obj->Word.load(std::memory_order_acquire);
     if (OTM_UNLIKELY(isOwned(W))) {
       if (ownerEntry(W)->Owner == this)
@@ -127,6 +129,7 @@ public:
   void openForUpdate(TxObject *Obj) {
     assert(inTx() && "openForUpdate outside a transaction");
     ++Stats.OpensForUpdate;
+    OTM_TRACE_OPEN_EVENT(Obs.Ring, obs::EventKind::OpenForUpdate, Obj, 0);
     WordValue W = Obj->Word.load(std::memory_order_acquire);
     for (;;) {
       if (OTM_UNLIKELY(isOwned(W))) {
@@ -218,6 +221,7 @@ public:
     if (OTM_LIKELY(validate()))
       return;
     ++Stats.AbortsOnValidation;
+    recordValidationFailureSite();
     abortAndThrow(AbortTx::Cause::Validation);
   }
 
@@ -228,6 +232,10 @@ public:
   TxStats &stats() { return Stats; }
   /// Adds this thread's counters into the process aggregate and zeroes them.
   void flushStats();
+
+  /// This manager's process-unique transaction site id (abort attribution
+  /// reports it as the owner of contended objects).
+  uint32_t siteId() const { return Obs.SiteId; }
 
   std::size_t readLogSizeForTesting() const { return ReadLog.size(); }
   std::size_t updateLogSizeForTesting() const { return UpdateLog.size(); }
@@ -259,6 +267,10 @@ private:
   /// unowned word, or aborts this transaction after the spin budget.
   WordValue waitForUnowned(TxObject *Obj);
 
+  /// Attributes the first invalid read-log entry (called on the abort
+  /// path, so scanning the log again is fine).
+  void recordValidationFailureSite();
+
   [[noreturn]] void abortAndThrow(AbortTx::Cause Why);
 
   bool validateEntry(const ReadEntry &Entry) const;
@@ -283,6 +295,7 @@ private:
   HashFilter UndoFilter;
 
   TxStats Stats;
+  obs::TxObs Obs;
 };
 
 } // namespace stm

@@ -7,13 +7,19 @@
 /// \file
 /// Per-thread transaction statistics, accumulated without atomics on the
 /// fast path and flushed into a process-wide aggregate on demand. These
-/// counters feed the dynamic-count tables (E5) and the contention study
-/// (E7).
+/// counters feed the dynamic-count tables (E5), the contention study (E7)
+/// and the machine-readable BENCH_E*.json stats documents.
+///
+/// The field inventory lives in two X-macros so the per-thread block, the
+/// atomic aggregate, and every add/snapshot/reset/serialize routine are
+/// generated from one list — a new counter cannot silently desync them.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef OTM_STM_TXSTATS_H
 #define OTM_STM_TXSTATS_H
+
+#include "obs/Histogram.h"
 
 #include <atomic>
 #include <cstdint>
@@ -21,38 +27,61 @@
 namespace otm {
 namespace stm {
 
+/// Scalar event counters. X(Name) per field.
+#define OTM_TXSTAT_COUNTERS(X)                                                 \
+  X(Starts)                                                                    \
+  X(Commits)                                                                   \
+  X(Aborts)                                                                    \
+  X(AbortsOnConflict)   /* open saw a foreign owner */                         \
+  X(AbortsOnValidation) /* commit-time read validation failed */               \
+  X(AbortsByUser)                                                              \
+  X(OpensForRead)                                                              \
+  X(OpensForUpdate)                                                            \
+  X(ReadLogAppends)                                                            \
+  X(ReadsFiltered)                                                             \
+  X(UndoLogAppends)                                                            \
+  X(UndosFiltered)                                                             \
+  X(Allocations)
+
+/// Power-of-two distributions sampled when obs::setSampling(true):
+/// CommitTscCycles is outermost begin() -> published commit in TSC ticks;
+/// RetriesPerCommit is aborted attempts absorbed by each commit.
+#define OTM_TXSTAT_HISTOGRAMS(X)                                               \
+  X(CommitTscCycles)                                                           \
+  X(RetriesPerCommit)
+
 /// Plain counter block (per thread; no synchronization).
 struct TxStats {
-  uint64_t Starts = 0;
-  uint64_t Commits = 0;
-  uint64_t Aborts = 0;
-  uint64_t AbortsOnConflict = 0;   // open saw a foreign owner
-  uint64_t AbortsOnValidation = 0; // commit-time read validation failed
-  uint64_t AbortsByUser = 0;
-  uint64_t OpensForRead = 0;
-  uint64_t OpensForUpdate = 0;
-  uint64_t ReadLogAppends = 0;
-  uint64_t ReadsFiltered = 0;
-  uint64_t UndoLogAppends = 0;
-  uint64_t UndosFiltered = 0;
-  uint64_t Allocations = 0;
+#define OTM_X(Name) uint64_t Name = 0;
+  OTM_TXSTAT_COUNTERS(OTM_X)
+#undef OTM_X
+#define OTM_X(Name) obs::Histogram Name;
+  OTM_TXSTAT_HISTOGRAMS(OTM_X)
+#undef OTM_X
 
   void reset() { *this = TxStats(); }
 
   void add(const TxStats &O) {
-    Starts += O.Starts;
-    Commits += O.Commits;
-    Aborts += O.Aborts;
-    AbortsOnConflict += O.AbortsOnConflict;
-    AbortsOnValidation += O.AbortsOnValidation;
-    AbortsByUser += O.AbortsByUser;
-    OpensForRead += O.OpensForRead;
-    OpensForUpdate += O.OpensForUpdate;
-    ReadLogAppends += O.ReadLogAppends;
-    ReadsFiltered += O.ReadsFiltered;
-    UndoLogAppends += O.UndoLogAppends;
-    UndosFiltered += O.UndosFiltered;
-    Allocations += O.Allocations;
+#define OTM_X(Name) Name += O.Name;
+    OTM_TXSTAT_COUNTERS(OTM_X)
+#undef OTM_X
+#define OTM_X(Name) Name.merge(O.Name);
+    OTM_TXSTAT_HISTOGRAMS(OTM_X)
+#undef OTM_X
+  }
+
+  /// Visits (const char *Name, uint64_t Value) per scalar counter.
+  template <typename FnType> void forEachCounter(FnType Fn) const {
+#define OTM_X(Name) Fn(#Name, Name);
+    OTM_TXSTAT_COUNTERS(OTM_X)
+#undef OTM_X
+  }
+
+  /// Visits (const char *Name, const obs::Histogram &) per histogram.
+  template <typename FnType> void forEachHistogram(FnType Fn) const {
+#define OTM_X(Name) Fn(#Name, Name);
+    OTM_TXSTAT_HISTOGRAMS(OTM_X)
+#undef OTM_X
   }
 };
 
@@ -65,65 +94,44 @@ public:
   }
 
   void add(const TxStats &S) {
-    Starts.fetch_add(S.Starts, std::memory_order_relaxed);
-    Commits.fetch_add(S.Commits, std::memory_order_relaxed);
-    Aborts.fetch_add(S.Aborts, std::memory_order_relaxed);
-    AbortsOnConflict.fetch_add(S.AbortsOnConflict, std::memory_order_relaxed);
-    AbortsOnValidation.fetch_add(S.AbortsOnValidation,
-                                 std::memory_order_relaxed);
-    AbortsByUser.fetch_add(S.AbortsByUser, std::memory_order_relaxed);
-    OpensForRead.fetch_add(S.OpensForRead, std::memory_order_relaxed);
-    OpensForUpdate.fetch_add(S.OpensForUpdate, std::memory_order_relaxed);
-    ReadLogAppends.fetch_add(S.ReadLogAppends, std::memory_order_relaxed);
-    ReadsFiltered.fetch_add(S.ReadsFiltered, std::memory_order_relaxed);
-    UndoLogAppends.fetch_add(S.UndoLogAppends, std::memory_order_relaxed);
-    UndosFiltered.fetch_add(S.UndosFiltered, std::memory_order_relaxed);
-    Allocations.fetch_add(S.Allocations, std::memory_order_relaxed);
+#define OTM_X(Name) Name.fetch_add(S.Name, std::memory_order_relaxed);
+    OTM_TXSTAT_COUNTERS(OTM_X)
+#undef OTM_X
+#define OTM_X(Name) Name.add(S.Name);
+    OTM_TXSTAT_HISTOGRAMS(OTM_X)
+#undef OTM_X
   }
 
   /// Snapshot into a plain TxStats block.
   TxStats snapshot() const {
     TxStats S;
-    S.Starts = Starts.load(std::memory_order_relaxed);
-    S.Commits = Commits.load(std::memory_order_relaxed);
-    S.Aborts = Aborts.load(std::memory_order_relaxed);
-    S.AbortsOnConflict = AbortsOnConflict.load(std::memory_order_relaxed);
-    S.AbortsOnValidation = AbortsOnValidation.load(std::memory_order_relaxed);
-    S.AbortsByUser = AbortsByUser.load(std::memory_order_relaxed);
-    S.OpensForRead = OpensForRead.load(std::memory_order_relaxed);
-    S.OpensForUpdate = OpensForUpdate.load(std::memory_order_relaxed);
-    S.ReadLogAppends = ReadLogAppends.load(std::memory_order_relaxed);
-    S.ReadsFiltered = ReadsFiltered.load(std::memory_order_relaxed);
-    S.UndoLogAppends = UndoLogAppends.load(std::memory_order_relaxed);
-    S.UndosFiltered = UndosFiltered.load(std::memory_order_relaxed);
-    S.Allocations = Allocations.load(std::memory_order_relaxed);
+#define OTM_X(Name) S.Name = Name.load(std::memory_order_relaxed);
+    OTM_TXSTAT_COUNTERS(OTM_X)
+#undef OTM_X
+#define OTM_X(Name) S.Name = Name.snapshot();
+    OTM_TXSTAT_HISTOGRAMS(OTM_X)
+#undef OTM_X
     return S;
   }
 
+  /// Relaxed stores, consistent with the documented memory-order policy
+  /// (reset races with concurrent flushes only across bench boundaries).
   void reset() {
-    Starts = 0;
-    Commits = 0;
-    Aborts = 0;
-    AbortsOnConflict = 0;
-    AbortsOnValidation = 0;
-    AbortsByUser = 0;
-    OpensForRead = 0;
-    OpensForUpdate = 0;
-    ReadLogAppends = 0;
-    ReadsFiltered = 0;
-    UndoLogAppends = 0;
-    UndosFiltered = 0;
-    Allocations = 0;
+#define OTM_X(Name) Name.store(0, std::memory_order_relaxed);
+    OTM_TXSTAT_COUNTERS(OTM_X)
+#undef OTM_X
+#define OTM_X(Name) Name.reset();
+    OTM_TXSTAT_HISTOGRAMS(OTM_X)
+#undef OTM_X
   }
 
 private:
-  std::atomic<uint64_t> Starts{0}, Commits{0}, Aborts{0};
-  std::atomic<uint64_t> AbortsOnConflict{0}, AbortsOnValidation{0},
-      AbortsByUser{0};
-  std::atomic<uint64_t> OpensForRead{0}, OpensForUpdate{0};
-  std::atomic<uint64_t> ReadLogAppends{0}, ReadsFiltered{0};
-  std::atomic<uint64_t> UndoLogAppends{0}, UndosFiltered{0};
-  std::atomic<uint64_t> Allocations{0};
+#define OTM_X(Name) std::atomic<uint64_t> Name{0};
+  OTM_TXSTAT_COUNTERS(OTM_X)
+#undef OTM_X
+#define OTM_X(Name) obs::AtomicHistogram Name;
+  OTM_TXSTAT_HISTOGRAMS(OTM_X)
+#undef OTM_X
 };
 
 } // namespace stm

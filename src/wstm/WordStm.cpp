@@ -14,8 +14,10 @@ using namespace otm::wstm;
 WTxManager &WTxManager::current() {
   // Leaked per-thread descriptor (same rationale as stm::TxManager).
   static thread_local WTxManager *Tx = nullptr;
-  if (OTM_UNLIKELY(!Tx))
+  if (OTM_UNLIKELY(!Tx)) {
     Tx = new WTxManager();
+    Tx->Obs.attachThread();
+  }
   return *Tx;
 }
 
@@ -40,6 +42,8 @@ bool WTxManager::tryCommit() {
         gc::EpochManager::global().retire(R.Raw, R.Destroy);
     });
     ++Stats.Commits;
+    Obs.onCommit(obs::AuxWordStm, Stats.CommitTscCycles,
+                 Stats.RetriesPerCommit);
     finish();
     return true;
   }
@@ -63,7 +67,9 @@ bool WTxManager::tryCommit() {
       if (++Spins > 128) {
         unlockFirstN(Acquired);
         ++Stats.AbortsOnConflict;
-        rollbackAttempt();
+        obs::AbortSites::instance().record(Lock, obs::AbortCause::Conflict,
+                                           ownerSiteOf(Lock->load()));
+        rollbackAttempt(obs::AuxCauseConflict);
         return false;
       }
       cpuRelax();
@@ -76,7 +82,8 @@ bool WTxManager::tryCommit() {
       Lock->unlockToVersion(Saved);
       unlockFirstN(Acquired);
       ++Stats.AbortsOnValidation;
-      rollbackAttempt();
+      obs::AbortSites::instance().record(Lock, obs::AbortCause::Validation, 0);
+      rollbackAttempt(obs::AuxCauseValidation);
       return false;
     }
     SavedVersions.push_back(Saved);
@@ -87,14 +94,22 @@ bool WTxManager::tryCommit() {
   uint64_t WriteVersion = clock().fetch_add(1, std::memory_order_acq_rel) + 1;
   if (WriteVersion != ReadVersion + 1) { // else nothing else committed
     bool Valid = true;
+    VersionedLock *FirstBad = nullptr;
+    uint64_t FirstBadWord = 0;
     ReadSet.forEach([&](VersionedLock *Lock) {
       uint64_t W = Lock->load();
+      bool Ok = true;
       if (VersionedLock::isLocked(W)) {
         // Locked by us is fine (we hold write locks); by others is not.
         if ((W & ~uint64_t(1)) != OwnerTag)
-          Valid = false;
+          Ok = false;
       } else if (VersionedLock::versionOf(W) > ReadVersion) {
+        Ok = false;
+      }
+      if (!Ok && Valid) {
         Valid = false;
+        FirstBad = Lock;
+        FirstBadWord = W;
       }
     });
     if (!Valid) {
@@ -102,7 +117,9 @@ bool WTxManager::tryCommit() {
         LockOrder[I]->unlockToVersion(SavedVersions[I]);
       SavedVersions.clear();
       ++Stats.AbortsOnValidation;
-      rollbackAttempt();
+      obs::AbortSites::instance().record(FirstBad, obs::AbortCause::Validation,
+                                         ownerSiteOf(FirstBadWord));
+      rollbackAttempt(obs::AuxCauseValidation);
       return false;
     }
   }
@@ -118,11 +135,12 @@ bool WTxManager::tryCommit() {
       gc::EpochManager::global().retire(R.Raw, R.Destroy);
   });
   ++Stats.Commits;
+  Obs.onCommit(obs::AuxWordStm, Stats.CommitTscCycles, Stats.RetriesPerCommit);
   finish();
   return true;
 }
 
-void WTxManager::rollbackAttempt() {
+void WTxManager::rollbackAttempt(uint16_t AuxCause) {
   assert(inTx() && "rollbackAttempt outside transaction");
   // Writes were buffered, so memory is untouched; just drop the logs and
   // free this attempt's allocations.
@@ -131,6 +149,7 @@ void WTxManager::rollbackAttempt() {
       gc::EpochManager::global().retire(R.Raw, R.Destroy);
   });
   ++Stats.Aborts;
+  Obs.onAbort(AuxCause, obs::AuxWordStm);
   finish();
 }
 

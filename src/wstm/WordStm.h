@@ -20,6 +20,8 @@
 #define OTM_WSTM_WORDSTM_H
 
 #include "gc/EpochManager.h"
+#include "obs/AbortSites.h"
+#include "obs/TxObs.h"
 #include "stm/Field.h"
 #include "stm/TxStats.h"
 #include "support/Backoff.h"
@@ -58,12 +60,15 @@ public:
     ReadVersion = clock().load(std::memory_order_acquire);
     gc::EpochManager::global().pin();
     ++Stats.Starts;
+    Obs.onBegin(obs::AuxWordStm);
   }
 
   /// TL2 read barrier: pre-validate lock, load, post-validate lock.
   template <typename T> T read(const WCell<T> &Cell) {
     assert(inTx() && "wstm read outside transaction");
     ++Stats.OpensForRead;
+    OTM_TRACE_OPEN_EVENT(Obs.Ring, obs::EventKind::OpenForRead, &Cell,
+                    obs::AuxWordStm);
     uint64_t Buffered;
     if (!Writes.empty() && Writes.lookup(&Cell, Buffered))
       return fromBits<T>(Buffered); // read-own-write
@@ -71,11 +76,11 @@ public:
     uint64_t L1 = Lock.load();
     if (OTM_UNLIKELY(VersionedLock::isLocked(L1) ||
                      VersionedLock::versionOf(L1) > ReadVersion))
-      abortAndThrow();
+      abortOnRead(&Cell, L1);
     T Value = Cell.load();
     uint64_t L2 = Lock.load();
     if (OTM_UNLIKELY(L1 != L2))
-      abortAndThrow();
+      abortOnRead(&Cell, L2);
     ReadSet.emplaceBack(&Lock);
     ++Stats.ReadLogAppends;
     return Value;
@@ -85,6 +90,8 @@ public:
   template <typename T> void write(WCell<T> &Cell, T Value) {
     assert(inTx() && "wstm write outside transaction");
     ++Stats.OpensForUpdate;
+    OTM_TRACE_OPEN_EVENT(Obs.Ring, obs::EventKind::OpenForUpdate, &Cell,
+                    obs::AuxWordStm);
     Writes.put(&Cell, toBits(Value), &applyCell<T>);
   }
 
@@ -105,10 +112,15 @@ public:
 
   bool tryCommit();
 
-  /// Rolls back the attempt (discard redo log, free allocations).
-  void rollbackAttempt();
+  /// Rolls back the attempt (discard redo log, free allocations). \p
+  /// AuxCause is the obs::AuxCause* code reported to the tracer.
+  void rollbackAttempt(uint16_t AuxCause = obs::AuxCauseValidation);
 
   bool inTx() const { return Depth > 0; }
+
+  /// Process-unique site id for abort attribution (locked stripes encode
+  /// the owner descriptor, which is leaked, so this is always derefable).
+  uint32_t siteId() const { return Obs.SiteId; }
 
   stm::TxStats &stats() { return Stats; }
   void flushStats() {
@@ -119,8 +131,18 @@ public:
 private:
   WTxManager() = default;
 
-  [[noreturn]] void abortAndThrow() {
+  /// Owner site encoded in a locked stripe word, or 0 when unlocked.
+  static uint32_t ownerSiteOf(uint64_t LockWord) {
+    if (!VersionedLock::isLocked(LockWord))
+      return 0;
+    return reinterpret_cast<const WTxManager *>(LockWord & ~uint64_t(1))
+        ->siteId();
+  }
+
+  [[noreturn]] void abortOnRead(const void *Addr, uint64_t LockWord) {
     ++Stats.AbortsOnValidation;
+    obs::AbortSites::instance().record(Addr, obs::AbortCause::Validation,
+                                       ownerSiteOf(LockWord));
     throw WAbort{};
   }
 
@@ -159,6 +181,7 @@ private:
   std::vector<VersionedLock *> LockOrder;  // scratch for commit
   std::vector<uint64_t> SavedVersions;     // pre-lock versions, commit scratch
   stm::TxStats Stats;
+  obs::TxObs Obs;
 };
 
 /// Public entry point mirroring stm::Stm::atomic for the baseline STM.
@@ -178,9 +201,9 @@ public:
         if (Tx.tryCommit())
           return;
       } catch (const WAbort &) {
-        Tx.rollbackAttempt();
+        Tx.rollbackAttempt(obs::AuxCauseValidation);
       } catch (...) {
-        Tx.rollbackAttempt();
+        Tx.rollbackAttempt(obs::AuxCauseUser);
         throw;
       }
       B.pause();
