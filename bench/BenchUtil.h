@@ -20,6 +20,7 @@
 #include "obs/TxObs.h"
 #include "stm/StatsJson.h"
 #include "stm/Stm.h"
+#include "txn/CmStats.h"
 #include "wstm/WordStm.h"
 #include "support/ThreadBarrier.h"
 
@@ -70,7 +71,10 @@ inline double runThreads(unsigned NumThreads,
 /// Snapshot of the process-wide STM statistics around a run.
 class StatsCapture {
 public:
-  StatsCapture() { stm::Stm::resetGlobalStats(); }
+  StatsCapture() {
+    stm::Stm::resetGlobalStats();
+    txn::CmStats::instance().reset();
+  }
 
   stm::TxStats finish() {
     stm::TxManager::current().flushStats();
@@ -139,6 +143,10 @@ public:
     Reporter.addSection("stm", stm::statsToJson(stm::Stm::globalStats()));
     Reporter.addSection("abort_sites", stm::abortSitesToJson());
     Reporter.addSection("pass_stats", obs::Statistic::allToJson());
+    obs::JsonValue Cm = txn::cmStatsToJson(txn::CmStats::instance().snapshot());
+    Cm.set("policy",
+           txn::policyName(stm::TxManager::config().ContentionPolicy));
+    Reporter.addSection("txn_cm", std::move(Cm));
     std::string Path =
         obs::StatsReporter::outputPath("BENCH_" + FileStem + ".json");
     if (Reporter.writeFile(Path))

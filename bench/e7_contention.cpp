@@ -43,7 +43,11 @@ struct Item : TxObject {
   Field<int64_t> Value;
 };
 
-void runCell(unsigned WritePercent, unsigned HotSet, BenchReport &Report) {
+/// One grid cell. When \p LabelPolicy the row label carries the active
+/// contention manager (the CM-sweep rows); the main grid keeps the
+/// pre-refactor label shape so runs stay comparable across revisions.
+void runCell(unsigned WritePercent, unsigned HotSet, BenchReport &Report,
+             bool LabelPolicy = false) {
   std::vector<std::unique_ptr<Item>> Pool;
   for (unsigned I = 0; I < HotSet; ++I)
     Pool.push_back(std::make_unique<Item>());
@@ -76,26 +80,36 @@ void runCell(unsigned WritePercent, unsigned HotSet, BenchReport &Report) {
     }
   });
   stm::TxStats S = Capture.finish();
+  txn::CmStatsSnapshot Cm = txn::CmStats::instance().snapshot();
+  const char *Policy = txn::policyName(Stm::config().ContentionPolicy);
   double Ktps = NumThreads * static_cast<double>(TxPerThread) / Seconds / 1e3;
   double AbortPct = S.Starts ? 100.0 * static_cast<double>(S.Aborts) /
                                    static_cast<double>(S.Starts)
                              : 0.0;
-  std::printf("%7u%% %8u %10.1f %10llu %9llu %10llu %11llu %8.2f%%\n",
-              WritePercent, HotSet, Ktps,
+  std::printf("%-8s %7u%% %8u %10.1f %10llu %9llu %10llu %11llu %8.2f%%\n",
+              Policy, WritePercent, HotSet, Ktps,
               static_cast<unsigned long long>(S.Commits),
               static_cast<unsigned long long>(S.Aborts),
               static_cast<unsigned long long>(S.AbortsOnConflict),
               static_cast<unsigned long long>(S.AbortsOnValidation),
               AbortPct);
   obs::JsonValue Run = obs::JsonValue::object();
-  Run.set("label", "writes=" + std::to_string(WritePercent) +
-                       "%/objs=" + std::to_string(HotSet));
+  std::string Label = "writes=" + std::to_string(WritePercent) +
+                      "%/objs=" + std::to_string(HotSet);
+  if (LabelPolicy)
+    Label = "cm=" + std::string(Policy) + "/" + Label;
+  Run.set("label", Label);
+  Run.set("cm", Policy);
   Run.set("ktx_per_sec", Ktps);
   Run.set("commits", S.Commits);
   Run.set("aborts", S.Aborts);
   Run.set("aborts_on_conflict", S.AbortsOnConflict);
   Run.set("aborts_on_validation", S.AbortsOnValidation);
   Run.set("abort_percent", AbortPct);
+  // CM decisions for THIS cell (StatsCapture resets the aggregate per cell).
+  Run.set("cm_conflict_waits", Cm.ConflictWaits);
+  Run.set("cm_priority_aborts", Cm.PriorityAborts);
+  Run.set("cm_fallback_entries", Cm.FallbackEntries);
   // Attribution for THIS cell: the next cell's StatsCapture resets it.
   Run.set("abort_sites", stm::abortSitesToJson(8));
   Report.addRun(std::move(Run));
@@ -108,18 +122,36 @@ int main() {
   std::printf("E7: aborts vs write ratio and hot-set size (%u threads, "
               "read-modify-write transactions)\n", NumThreads);
   printHeaderRule();
-  std::printf("%8s %8s %10s %10s %9s %10s %11s %9s\n", "writes", "objs",
-              "Ktx/s", "commits", "aborts", "conflict", "validation",
+  std::printf("%-8s %8s %8s %10s %10s %9s %10s %11s %9s\n", "cm", "writes",
+              "objs", "Ktx/s", "commits", "aborts", "conflict", "validation",
               "abort%");
   printHeaderRule();
+  // Main grid under the configured default policy (backoff unless OTM_CM
+  // overrides) — labels unchanged from pre-txn-layer runs for comparability.
   for (unsigned WritePercent : {0u, 10u, 50u, 100u})
     for (unsigned HotSet : {4u, 64u, 4096u})
       runCell(WritePercent, HotSet, Report);
+  // Contention-manager sweep on the two most contended cells: every policy,
+  // so the JSON carries per-policy rows (cm=<policy>/writes=…/objs=…).
+  printHeaderRule();
+  std::printf("contention-manager sweep (contended cells)\n");
+  printHeaderRule();
+  txn::CmPolicy Saved = Stm::config().ContentionPolicy;
+  for (txn::CmPolicy P :
+       {txn::CmPolicy::Passive, txn::CmPolicy::Backoff, txn::CmPolicy::Karma,
+        txn::CmPolicy::TimestampGreedy}) {
+    Stm::config().ContentionPolicy = P;
+    runCell(100, 4, Report, /*LabelPolicy=*/true);
+    runCell(50, 64, Report, /*LabelPolicy=*/true);
+  }
+  Stm::config().ContentionPolicy = Saved;
   printHeaderRule();
   std::printf("expected shape: abort rate rises with write ratio and falls "
               "with pool size; eager ownership makes open-time conflicts "
               "the dominant cause, with commit-time validation failures "
-              "from racing readers\n");
+              "from racing readers. In the CM sweep, karma/greedy convert "
+              "some timeout aborts into priority aborts; passive aborts "
+              "earliest.\n");
   Report.write();
   return 0;
 }

@@ -8,12 +8,13 @@
 
 #include "obs/TraceRing.h"
 #include "stm/Stm.h"
-#include "support/Backoff.h"
 #include "support/Compiler.h"
 #include "tmir/Verifier.h"
+#include "txn/RetryExecutor.h"
 
 #include <cstdio>
 #include <mutex>
+#include <optional>
 
 using namespace otm;
 using namespace otm::interp;
@@ -49,6 +50,10 @@ struct Interpreter::Frame {
   std::size_t SnapIdx = 0;
   std::vector<int64_t> SnapRegs;
   std::vector<int64_t> SnapLocals;
+  /// Retry sequencing for the atomic region this frame owns. Lives across
+  /// snapshot-restart retries of one region; unwinding the frame on a trap
+  /// releases any serial-gate state through the controller's destructor.
+  std::optional<txn::RetryController> Ctl;
 };
 
 namespace {
@@ -167,7 +172,12 @@ int64_t Interpreter::execFunction(Function &F,
   FrameScope Scope(Fr);
 
   stm::TxManager &Tx = stm::TxManager::current();
-  Backoff Retry(reinterpret_cast<uintptr_t>(&Fr) * 0x9e3779b97f4a7c15ULL);
+
+  // Monotone work counter for karma accrual (same measure as Stm::atomic).
+  auto TxOpCount = [&]() -> uint64_t {
+    const stm::TxStats &S = Tx.stats();
+    return S.OpensForRead + S.OpensForUpdate + S.UndoLogAppends;
+  };
 
   auto Val = [&](const Value &V) -> int64_t {
     switch (V.kind()) {
@@ -403,6 +413,15 @@ int64_t Interpreter::execFunction(Function &F,
           if (!Tx.inTx()) {
             SaveSnapshot(Block, Idx);
             Fr.OwnsTx = true;
+            // First attempt of a new top-level region constructs the retry
+            // controller; snapshot restarts reuse it (attempt count and
+            // karma persist across the attempts of one transaction).
+            if (!Fr.Ctl)
+              Fr.Ctl.emplace(
+                  txn::managerFor(stm::TxManager::config().ContentionPolicy),
+                  Tx.cmState(), stm::TxManager::config().SerialFallbackAfter,
+                  reinterpret_cast<uintptr_t>(&Fr) * 0x9e3779b97f4a7c15ULL);
+            Fr.Ctl->beforeAttempt(TxOpCount());
           }
           Tx.begin();
           Counts.TxStarted.fetch_add(1, std::memory_order_relaxed);
@@ -421,13 +440,14 @@ int64_t Interpreter::execFunction(Function &F,
           if (Fr.OwnsTx && Tx.nestingDepth() == 1) {
             if (!Tx.tryCommit()) {
               RestoreSnapshot();
-              Retry.pause();
+              Fr.Ctl->afterAbort(TxOpCount());
               continue; // resume from atomic_begin
             }
             Fr.OwnsTx = false;
             Fr.HasSnapshot = false;
             Counts.TxCommitted.fetch_add(1, std::memory_order_relaxed);
-            Retry.reset();
+            Fr.Ctl->onFinished();
+            Fr.Ctl.reset();
           } else {
             Tx.tryCommit(); // nested level: always succeeds
           }
@@ -482,7 +502,7 @@ int64_t Interpreter::execFunction(Function &F,
         throw; // unwind to the frame that owns the transaction
       Tx.rollbackAttempt(Reason.Why);
       RestoreSnapshot();
-      Retry.pause();
+      Fr.Ctl->afterAbort(TxOpCount());
       continue;
     }
     ++Idx;

@@ -52,6 +52,9 @@ const char *eventName(uint16_t Kind) {
   case EventKind::GcBegin:
   case EventKind::GcEnd:
     return "gc";
+  case EventKind::SerialEnter:
+  case EventKind::SerialExit:
+    return "serial_irrevocable";
   }
   return "event";
 }
@@ -214,6 +217,13 @@ std::string TraceRing::chromeTraceJson() {
                       std::max(TsUs - BeginUs, 0.001), Tid, "");
         }
         HavePendingGc = false;
+        break;
+      case EventKind::SerialEnter:
+      case EventKind::SerialExit:
+        appendEvent(Out, First, eventName(E.Kind), "i", TsUs, -1, Tid,
+                    E.Kind == static_cast<uint16_t>(EventKind::SerialEnter)
+                        ? "\"phase\":\"enter\""
+                        : "\"phase\":\"exit\"");
         break;
       }
     }

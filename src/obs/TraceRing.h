@@ -45,6 +45,8 @@ enum class EventKind : uint16_t {
   OpenForUpdate = 4,
   GcBegin = 5,
   GcEnd = 6,
+  SerialEnter = 7, ///< transaction escalated to serial-irrevocable mode
+  SerialExit = 8,  ///< serial-irrevocable transaction finished
 };
 
 /// Aux payload values for TxAbort events.

@@ -25,6 +25,7 @@
 
 #include "stm/StmWord.h"
 
+#include <atomic>
 #include <cstdint>
 
 namespace otm {
@@ -41,10 +42,33 @@ struct ReadEntry {
 
 /// One exclusive update enlistment. The owned object's STM word encodes a
 /// tagged pointer to this entry.
+///
+/// Owner is read cross-thread: an attacker that loaded a stale STM word may
+/// dereference this entry after the owner released it and its slot was
+/// recycled by the owner's next transaction (slots live in a leaked
+/// ChunkedVector precisely so the dereference stays mapped). The stale value
+/// is benign — arbitration against the wrong manager just delays the abort —
+/// but the access must be atomic to be defined; relaxed ordering keeps it an
+/// ordinary load/store, mirroring Field<T>. Obj and PrevWord are only ever
+/// read by the owning thread (validateEntry checks Owner == this first).
 struct UpdateEntry {
   TxObject *Obj = nullptr;
   WordValue PrevWord = 0;
-  TxManager *Owner = nullptr;
+  std::atomic<TxManager *> Owner{nullptr};
+
+  UpdateEntry() = default;
+  UpdateEntry(TxObject *O, WordValue Prev, TxManager *Own)
+      : Obj(O), PrevWord(Prev), Owner(Own) {}
+  UpdateEntry(const UpdateEntry &E)
+      : Obj(E.Obj), PrevWord(E.PrevWord), Owner(E.owner()) {}
+  UpdateEntry &operator=(const UpdateEntry &E) {
+    Obj = E.Obj;
+    PrevWord = E.PrevWord;
+    Owner.store(E.owner(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  TxManager *owner() const { return Owner.load(std::memory_order_relaxed); }
 };
 
 /// One overwritten location. Restore is a type-aware thunk so that undo

@@ -10,6 +10,12 @@
 /// block lowers to. Inside the lambda the TxManager exposes the decomposed
 /// barriers that the compiler (or careful hand-written code) places.
 ///
+/// The retry loop itself lives in the shared transaction-execution layer
+/// (txn::RetryExecutor): this header only supplies the adapter that binds
+/// the loop to stm::TxManager's begin/commit/abort protocol. Contention
+/// policy and the serial-fallback budget come from TxConfig (and the
+/// OTM_CM / OTM_RETRY_BUDGET environment variables).
+///
 /// \code
 ///   otm::stm::Stm::atomic([&](otm::stm::TxManager &Tx) {
 ///     Tx.openForUpdate(Account);
@@ -28,12 +34,57 @@
 #include "stm/TxManager.h"
 #include "stm/TxObject.h"
 #include "stm/TxStats.h"
-#include "support/Backoff.h"
+#include "txn/RetryExecutor.h"
 
 #include <utility>
 
 namespace otm {
 namespace stm {
+
+/// Binds txn::RetryExecutor to the object STM: AbortTx is the abort
+/// protocol, opens + undo logs are the karma work measure.
+struct StmRetryAdapter {
+  using Manager = TxManager;
+
+  static Manager &manager() { return TxManager::current(); }
+  static bool inTx(Manager &Tx) { return Tx.inTx(); }
+  static void noteSubsumed(Manager &Tx) { ++Tx.stats().SubsumedTx; }
+  static void begin(Manager &Tx) { Tx.begin(); }
+
+  template <typename FnType>
+  static txn::AttemptOutcome attempt(Manager &Tx, FnType &Fn) {
+    try {
+      Fn(Tx);
+      if (Tx.tryCommit())
+        return txn::AttemptOutcome::Committed;
+      return txn::AttemptOutcome::RetryAbort;
+    } catch (const AbortTx &Reason) {
+      Tx.rollbackAttempt(Reason.Why);
+      // Explicit user abort: roll back and leave, do not retry.
+      return Reason.Why == AbortTx::Cause::User
+                 ? txn::AttemptOutcome::NoRetryAbort
+                 : txn::AttemptOutcome::RetryAbort;
+    } catch (...) {
+      // A non-STM exception escaping the block aborts the transaction
+      // (failure atomicity) and propagates to the caller.
+      Tx.rollbackAttempt(AbortTx::Cause::User);
+      throw;
+    }
+  }
+
+  static uint64_t opCount(Manager &Tx) {
+    const TxStats &S = Tx.stats();
+    return S.OpensForRead + S.OpensForUpdate + S.UndoLogAppends;
+  }
+  static txn::CmTxState &cmState(Manager &Tx) { return Tx.cmState(); }
+  static txn::CmPolicy policy() {
+    return TxManager::config().ContentionPolicy;
+  }
+  static unsigned fallbackAfter() {
+    return TxManager::config().SerialFallbackAfter;
+  }
+  static uint64_t seedMix() { return 0x9e3779b97f4a7c15ULL; }
+};
 
 class Stm {
 public:
@@ -42,38 +93,14 @@ public:
   /// be safe to re-execute; all its transactional effects are rolled back
   /// before a retry.
   template <typename FnType> static void atomic(FnType &&Fn) {
-    TxManager &Tx = TxManager::current();
-    if (Tx.inTx()) {
-      Fn(Tx); // flattening: conflicts unwind to the outermost retry loop
-      return;
-    }
-    Backoff B(reinterpret_cast<uintptr_t>(&Tx) * 0x9e3779b97f4a7c15ULL);
-    for (;;) {
-      Tx.begin();
-      try {
-        Fn(Tx);
-        if (Tx.tryCommit())
-          return;
-      } catch (const AbortTx &Reason) {
-        Tx.rollbackAttempt(Reason.Why);
-        if (Reason.Why == AbortTx::Cause::User)
-          return; // explicit user abort: roll back and leave, do not retry
-      } catch (...) {
-        // A non-STM exception escaping the block aborts the transaction
-        // (failure atomicity) and propagates to the caller.
-        Tx.rollbackAttempt(AbortTx::Cause::User);
-        throw;
-      }
-      B.pause();
-    }
+    txn::RetryExecutor<StmRetryAdapter>::atomic(std::forward<FnType>(Fn));
   }
 
-  /// Runs \p Fn transactionally and returns its result.
+  /// Runs \p Fn transactionally and returns its result (move-constructed
+  /// out of optional storage; no default-constructible requirement).
   template <typename FnType> static auto atomicResult(FnType &&Fn) {
-    using ResultType = decltype(Fn(std::declval<TxManager &>()));
-    ResultType Result{};
-    atomic([&](TxManager &Tx) { Result = Fn(Tx); });
-    return Result;
+    return txn::RetryExecutor<StmRetryAdapter>::atomicResult(
+        std::forward<FnType>(Fn));
   }
 
   static TxConfig &config() { return TxManager::config(); }

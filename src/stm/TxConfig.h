@@ -14,6 +14,10 @@
 #ifndef OTM_STM_TXCONFIG_H
 #define OTM_STM_TXCONFIG_H
 
+#include "txn/ContentionManager.h"
+
+#include <cstdlib>
+
 namespace otm {
 namespace stm {
 
@@ -30,6 +34,24 @@ struct TxConfig {
 
   /// Cap on commit attempts before atomic() escalates backoff to yields.
   unsigned SoftRetryLimit = 16;
+
+  /// Contention-management policy consulted at ownership conflicts and
+  /// between retry attempts (both STMs and the interpreter). Defaults to
+  /// the OTM_CM environment variable (passive|backoff|karma|greedy),
+  /// falling back to backoff — the pre-txn-layer behaviour.
+  txn::CmPolicy ContentionPolicy = txn::policyFromEnv(txn::CmPolicy::Backoff);
+
+  /// Retry budget: after this many aborted attempts of one transaction,
+  /// the next attempt escalates to serial-irrevocable mode (all other
+  /// transactions drain and stall until it finishes). 0 disables the
+  /// fallback. Defaults to the OTM_RETRY_BUDGET environment variable.
+  unsigned SerialFallbackAfter = defaultSerialFallbackAfter();
+
+  static unsigned defaultSerialFallbackAfter() {
+    if (const char *E = std::getenv("OTM_RETRY_BUDGET"))
+      return static_cast<unsigned>(std::strtoul(E, nullptr, 10));
+    return 64;
+  }
 };
 
 } // namespace stm

@@ -9,6 +9,7 @@
 #include "gc/EpochManager.h"
 #include "obs/AbortSites.h"
 #include "stm/HashFilter.h"
+#include "txn/CmStats.h"
 
 #include <thread>
 
@@ -48,8 +49,10 @@ TxConfig &TxManager::config() {
 }
 
 void TxManager::begin() {
-  if (Depth++ != 0)
-    return; // flattened nested transaction
+  if (Depth++ != 0) {
+    ++Stats.SubsumedTx; // flattened nested transaction
+    return;
+  }
   ActiveConfig = config();
   FilterReadsOn = ActiveConfig.FilterReads;
   FilterUndoOn = ActiveConfig.FilterUndo;
@@ -68,7 +71,7 @@ bool TxManager::validateEntry(const ReadEntry &Entry) const {
     // We may have upgraded the object to update ownership after reading it;
     // that is consistent iff nobody committed in between.
     const UpdateEntry *Owner = ownerEntry(Cur);
-    return Owner->Owner == this && Owner->PrevWord == Entry.Seen;
+    return Owner->owner() == this && Owner->PrevWord == Entry.Seen;
   }
   return false;
 }
@@ -168,22 +171,40 @@ void TxManager::rollbackAttempt(AbortTx::Cause Why) {
 }
 
 WordValue TxManager::waitForUnowned(TxObject *Obj) {
-  for (unsigned Spin = 0; Spin < ActiveConfig.ConflictSpins; ++Spin) {
-    WordValue W = Obj->Word.load(std::memory_order_acquire);
+  // Arbitration is delegated to the configured contention manager: one
+  // decision per wait round (a round is ~32 pause iterations plus a yield,
+  // so the backoff policy's budget matches the old ConflictSpins loop).
+  const txn::ContentionManager &CM =
+      txn::managerFor(ActiveConfig.ContentionPolicy);
+  constexpr unsigned RoundSpins = 32;
+  const unsigned BudgetRounds =
+      (ActiveConfig.ConflictSpins + RoundSpins - 1) / RoundSpins;
+  WordValue W = Obj->Word.load(std::memory_order_acquire);
+  for (unsigned Round = 0;; ++Round) {
     if (!isOwned(W))
       return W;
-    if ((Spin & 31) == 31)
+    txn::ConflictChoice Choice = CM.onConflict(
+        CmState, ownerEntry(W)->owner()->CmState, Round, BudgetRounds);
+    if (Choice == txn::ConflictChoice::Wait) {
+      if (Round == 0)
+        txn::CmStats::instance().bumpConflictWaits();
+      for (unsigned Spin = 0; Spin < RoundSpins - 1; ++Spin)
+        cpuRelax();
       std::this_thread::yield(); // crucial on oversubscribed machines
-    else
-      cpuRelax();
+      W = Obj->Word.load(std::memory_order_acquire);
+      continue;
+    }
+    if (Choice == txn::ConflictChoice::AbortSelfPriority)
+      txn::CmStats::instance().bumpPriorityAborts();
+    break;
   }
   ++Stats.AbortsOnConflict;
   // Attribute the conflict to whoever owns the object right now (the owner
   // may have released it since the last spin; then the site is unknown).
-  WordValue W = Obj->Word.load(std::memory_order_acquire);
+  W = Obj->Word.load(std::memory_order_acquire);
   obs::AbortSites::instance().record(
       Obj, obs::AbortCause::Conflict,
-      isOwned(W) ? ownerEntry(W)->Owner->siteId() : 0);
+      isOwned(W) ? ownerEntry(W)->owner()->siteId() : 0);
   abortAndThrow(AbortTx::Cause::Conflict);
 }
 
@@ -195,7 +216,7 @@ void TxManager::recordValidationFailureSite() {
     WordValue Cur = Entry.Obj->Word.load(std::memory_order_acquire);
     obs::AbortSites::instance().record(
         Entry.Obj, obs::AbortCause::Validation,
-        isOwned(Cur) ? ownerEntry(Cur)->Owner->siteId() : 0);
+        isOwned(Cur) ? ownerEntry(Cur)->owner()->siteId() : 0);
     return; // first invalid entry is the one that doomed the attempt
   }
 }

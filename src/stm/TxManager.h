@@ -47,6 +47,7 @@
 #include "support/Backoff.h"
 #include "support/ChunkedVector.h"
 #include "support/Compiler.h"
+#include "txn/ContentionManager.h"
 
 #include <cassert>
 #include <cstdint>
@@ -110,7 +111,7 @@ public:
     OTM_TRACE_OPEN_EVENT(Obs.Ring, obs::EventKind::OpenForRead, Obj, 0);
     WordValue W = Obj->Word.load(std::memory_order_acquire);
     if (OTM_UNLIKELY(isOwned(W))) {
-      if (ownerEntry(W)->Owner == this)
+      if (ownerEntry(W)->owner() == this)
         return; // we own it: reads are trivially consistent
       W = waitForUnowned(Obj);
     }
@@ -133,7 +134,7 @@ public:
     WordValue W = Obj->Word.load(std::memory_order_acquire);
     for (;;) {
       if (OTM_UNLIKELY(isOwned(W))) {
-        if (ownerEntry(W)->Owner == this)
+        if (ownerEntry(W)->owner() == this)
           return; // already ours
         W = waitForUnowned(Obj);
         continue;
@@ -237,6 +238,12 @@ public:
   /// reports it as the owner of contended objects).
   uint32_t siteId() const { return Obs.SiteId; }
 
+  /// Contention-management state of this manager's current transaction.
+  /// Attackers read it cross-thread during conflict arbitration (karma
+  /// priority, greedy arrival stamp); the retry layer resets it per
+  /// transaction.
+  txn::CmTxState &cmState() { return CmState; }
+
   std::size_t readLogSizeForTesting() const { return ReadLog.size(); }
   std::size_t updateLogSizeForTesting() const { return UpdateLog.size(); }
   std::size_t undoLogSizeForTesting() const { return UndoLog.size(); }
@@ -296,6 +303,7 @@ private:
 
   TxStats Stats;
   obs::TxObs Obs;
+  txn::CmTxState CmState;
 };
 
 } // namespace stm

@@ -30,6 +30,7 @@ namespace stm {
 /// Scalar event counters. X(Name) per field.
 #define OTM_TXSTAT_COUNTERS(X)                                                 \
   X(Starts)                                                                    \
+  X(SubsumedTx)         /* nested transactions flattened into their parent */  \
   X(Commits)                                                                   \
   X(Aborts)                                                                    \
   X(AbortsOnConflict)   /* open saw a foreign owner */                         \

@@ -1,0 +1,216 @@
+//===- txn/RetryExecutor.h - Unified transaction retry loop ----*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one transaction-execution loop shared by all three execution paths
+/// (object-STM Stm::atomic, word-STM WordStm::atomic, and the TMIR
+/// interpreter's atomic regions). It owns the begin/try/rollback/pause
+/// sequencing, delegates every conflict decision to the configured
+/// ContentionManager, and escalates to serial-irrevocable mode through the
+/// SerialGate once the retry budget is exhausted.
+///
+/// Two entry shapes:
+///
+///   - RetryExecutor<Adapter>::atomic(Fn) — the lambda style. The Adapter
+///     binds the loop to a concrete STM (manager lookup, begin, one
+///     attempt with that STM's abort-exception protocol, op counting for
+///     karma). See stm/Stm.h and wstm/WordStm.h for the two adapters.
+///
+///   - RetryController — the stateful core of the loop, used directly by
+///     clients whose control flow cannot be shaped as a callable (the
+///     interpreter restarts from a frame snapshot instead of re-entering a
+///     lambda). beforeAttempt/afterAbort/onFinished bracket each attempt;
+///     the destructor releases any gate state, so unwinding on a non-STM
+///     exception cannot leak serial ownership.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_TXN_RETRYEXECUTOR_H
+#define OTM_TXN_RETRYEXECUTOR_H
+
+#include "obs/TraceRing.h"
+#include "support/Backoff.h"
+#include "txn/CmStats.h"
+#include "txn/ContentionManager.h"
+#include "txn/SerialGate.h"
+
+#include <optional>
+#include <utility>
+
+namespace otm {
+namespace txn {
+
+/// Result of one transaction attempt, as reported by an Adapter.
+enum class AttemptOutcome : uint8_t {
+  Committed,    ///< published; the transaction is done
+  RetryAbort,   ///< rolled back on conflict/validation; run another attempt
+  NoRetryAbort, ///< rolled back on explicit user abort; do not retry
+};
+
+/// Stateful retry sequencing for one top-level transaction. Construct it
+/// when the transaction arrives, call beforeAttempt() before each STM-level
+/// begin, afterAbort() after each rolled-back attempt, and onFinished()
+/// when an attempt commits (or aborts without retry).
+class RetryController {
+public:
+  /// \p FallbackAfter is the retry budget: after that many aborted
+  /// attempts the next one runs serial-irrevocable (0 disables fallback).
+  RetryController(const ContentionManager &CM, CmTxState &St,
+                  unsigned FallbackAfter, uint64_t BackoffSeed)
+      : CM(CM), St(St), Slot(SerialGate::instance().slotForCurrentThread()),
+        FallbackAfter(FallbackAfter), B(BackoffSeed) {
+    St.beginTransaction(CM.needsArrivalStamp() ? nextArrivalStamp() : 0);
+  }
+
+  RetryController(const RetryController &) = delete;
+  RetryController &operator=(const RetryController &) = delete;
+
+  ~RetryController() { releaseGate(); }
+
+  /// Brackets the next attempt into the serial gate; escalates to
+  /// exclusive mode first when afterAbort() exhausted the budget. \p
+  /// OpCountNow is the client's monotone work counter (karma accrual).
+  void beforeAttempt(uint64_t OpCountNow) {
+    OpAtBegin = OpCountNow;
+    if (Mode == GateMode::Exclusive)
+      return; // still serial from the previous attempt
+    if (OTM_UNLIKELY(PendingSerial)) {
+      PendingSerial = false;
+      SerialGate::instance().enterExclusive(Slot);
+      Mode = GateMode::Exclusive;
+      CmStats::instance().bumpFallbackEntries();
+      OTM_TRACE_EVENT(obs::TraceRing::forCurrentThread(),
+                      obs::EventKind::SerialEnter, nullptr, 0);
+      return;
+    }
+    if (OTM_UNLIKELY(SerialGate::instance().enterShared(Slot)))
+      CmStats::instance().bumpGateWaits();
+    Mode = GateMode::Shared;
+  }
+
+  /// Call after a failed attempt has been fully rolled back. Performs the
+  /// policy's inter-attempt pause and arms the serial fallback once the
+  /// budget is gone.
+  void afterAbort(uint64_t OpCountNow) {
+    ++Attempts;
+    St.addPriority(OpCountNow >= OpAtBegin ? OpCountNow - OpAtBegin : 0);
+    if (Mode == GateMode::Exclusive)
+      return; // retry immediately; we already run alone
+    leaveShared();
+    if (FallbackAfter != 0 && Attempts >= FallbackAfter) {
+      PendingSerial = true;
+      return; // no pause: escalate on the next attempt
+    }
+    if (CM.pauseAfterAbort(Attempts, B))
+      CmStats::instance().bumpAttemptPauses();
+  }
+
+  /// Call once the transaction committed or user-aborted (no more
+  /// attempts). Safe to destroy the controller right after.
+  void onFinished() {
+    if (Mode == GateMode::Exclusive)
+      CmStats::instance().bumpFallbackCommits();
+    releaseGate();
+  }
+
+  unsigned attempts() const { return Attempts; }
+  bool inSerialMode() const { return Mode == GateMode::Exclusive; }
+
+private:
+  enum class GateMode : uint8_t { Outside, Shared, Exclusive };
+
+  void leaveShared() {
+    SerialGate::instance().exitShared(Slot);
+    Mode = GateMode::Outside;
+  }
+
+  void releaseGate() {
+    if (Mode == GateMode::Shared) {
+      leaveShared();
+    } else if (Mode == GateMode::Exclusive) {
+      SerialGate::instance().exitExclusive();
+      Mode = GateMode::Outside;
+      OTM_TRACE_EVENT(obs::TraceRing::forCurrentThread(),
+                      obs::EventKind::SerialExit, nullptr, 0);
+    }
+  }
+
+  const ContentionManager &CM;
+  CmTxState &St;
+  SerialGate::Slot &Slot;
+  unsigned FallbackAfter;
+  Backoff B;
+  unsigned Attempts = 0;
+  uint64_t OpAtBegin = 0;
+  bool PendingSerial = false;
+  GateMode Mode = GateMode::Outside;
+};
+
+/// The lambda-style retry loop. An Adapter provides:
+///
+/// \code
+///   struct Adapter {
+///     using Manager = ...;                     // per-thread descriptor
+///     static Manager &manager();               // thread's descriptor
+///     static bool inTx(Manager &);             // inside a transaction?
+///     static void noteSubsumed(Manager &);     // flattened-nesting stat
+///     static void begin(Manager &);            // TxStart
+///     template <typename Fn>
+///     static AttemptOutcome attempt(Manager &, Fn &);  // run + commit or
+///                                              // catch-abort + rollback;
+///                                              // non-STM exceptions must
+///                                              // roll back and rethrow
+///     static uint64_t opCount(Manager &);      // monotone work counter
+///     static CmTxState &cmState(Manager &);    // embedded CM state
+///     static CmPolicy policy();                // from the active config
+///     static unsigned fallbackAfter();         // retry budget
+///     static uint64_t seedMix();               // backoff seed multiplier
+///   };
+/// \endcode
+template <typename Adapter> class RetryExecutor {
+public:
+  using Manager = typename Adapter::Manager;
+
+  template <typename FnType> static void atomic(FnType &&Fn) {
+    Manager &Tx = Adapter::manager();
+    if (Adapter::inTx(Tx)) {
+      // Flattening: the nested body runs inside the enclosing transaction
+      // and conflicts unwind to the outermost retry loop.
+      Adapter::noteSubsumed(Tx);
+      Fn(Tx);
+      return;
+    }
+    const ContentionManager &CM = managerFor(Adapter::policy());
+    RetryController Ctl(CM, Adapter::cmState(Tx), Adapter::fallbackAfter(),
+                        reinterpret_cast<uintptr_t>(&Tx) *
+                            Adapter::seedMix());
+    for (;;) {
+      Ctl.beforeAttempt(Adapter::opCount(Tx));
+      Adapter::begin(Tx);
+      AttemptOutcome Out = Adapter::attempt(Tx, Fn);
+      if (Out != AttemptOutcome::RetryAbort) {
+        Ctl.onFinished();
+        return;
+      }
+      Ctl.afterAbort(Adapter::opCount(Tx));
+    }
+  }
+
+  /// Runs \p Fn transactionally and returns its result. The result is
+  /// constructed into optional storage, so the result type needs neither
+  /// default construction nor assignment — only move construction.
+  template <typename FnType> static auto atomicResult(FnType &&Fn) {
+    using ResultType = decltype(Fn(std::declval<Manager &>()));
+    std::optional<ResultType> Result;
+    atomic([&](Manager &Tx) { Result.emplace(Fn(Tx)); });
+    return std::move(*Result);
+  }
+};
+
+} // namespace txn
+} // namespace otm
+
+#endif // OTM_TXN_RETRYEXECUTOR_H

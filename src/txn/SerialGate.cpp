@@ -1,0 +1,90 @@
+//===- txn/SerialGate.cpp - Serial-irrevocable execution gate -------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "txn/SerialGate.h"
+
+#include "support/Compiler.h"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace otm;
+using namespace otm::txn;
+
+namespace {
+
+/// Registry of every thread's slot. Slots are leaked (a zombie scan by a
+/// late serial owner must never fault), so the vector only ever grows.
+struct SlotRegistry {
+  std::mutex Mutex;
+  std::vector<SerialGate::Slot *> Slots;
+
+  SerialGate::Slot *add() {
+    auto *S = new SerialGate::Slot();
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Slots.push_back(S);
+    return S;
+  }
+};
+
+SlotRegistry &registry() {
+  static SlotRegistry R;
+  return R;
+}
+
+} // namespace
+
+SerialGate &SerialGate::instance() {
+  static SerialGate G;
+  return G;
+}
+
+SerialGate::Slot &SerialGate::slotForCurrentThread() {
+  static thread_local Slot *S = nullptr;
+  if (OTM_UNLIKELY(!S))
+    S = registry().add();
+  return *S;
+}
+
+void SerialGate::waitWhileExclusive() {
+  while (Exclusive.load(std::memory_order_acquire))
+    std::this_thread::yield();
+}
+
+void SerialGate::enterExclusive(Slot &Self) {
+  // One serial owner at a time.
+  while (Exclusive.exchange(true, std::memory_order_acq_rel))
+    std::this_thread::yield();
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Drain: every other registered thread must leave its attempt. New
+  // attempts see Exclusive and stall in enterShared, so the count only
+  // falls. Copy the slot list once; threads registered after the fence
+  // can only observe Exclusive already set.
+  std::vector<Slot *> Snapshot;
+  {
+    std::lock_guard<std::mutex> Lock(registry().Mutex);
+    Snapshot = registry().Slots;
+  }
+  for (;;) {
+    bool Quiet = true;
+    for (Slot *S : Snapshot) {
+      if (S == &Self)
+        continue;
+      if (S->Active.load(std::memory_order_acquire) != 0) {
+        Quiet = false;
+        break;
+      }
+    }
+    if (Quiet)
+      return;
+    std::this_thread::yield();
+  }
+}
+
+void SerialGate::exitExclusive() {
+  Exclusive.store(false, std::memory_order_release);
+}

@@ -6,7 +6,10 @@
 
 #include "wstm/WordStm.h"
 
+#include "txn/CmStats.h"
+
 #include <algorithm>
+#include <thread>
 
 using namespace otm;
 using namespace otm::wstm;
@@ -58,21 +61,45 @@ bool WTxManager::tryCommit() {
   LockOrder.erase(std::unique(LockOrder.begin(), LockOrder.end()),
                   LockOrder.end());
 
+  // Stripe-lock arbitration is delegated to the configured contention
+  // manager, exactly like the object STM's waitForUnowned: one decision per
+  // wait round of ~32 spins, with the round budget derived from
+  // ConflictSpins (default 128 == the old fixed spin count here).
+  const txn::ContentionManager &CM =
+      txn::managerFor(ActiveConfig.ContentionPolicy);
+  constexpr unsigned RoundSpins = 32;
+  const unsigned BudgetRounds =
+      (ActiveConfig.ConflictSpins + RoundSpins - 1) / RoundSpins;
+
   uintptr_t OwnerTag = reinterpret_cast<uintptr_t>(this) & ~uintptr_t(1);
   std::size_t Acquired = 0;
   for (VersionedLock *Lock : LockOrder) {
     uint64_t Saved;
-    unsigned Spins = 0;
+    unsigned Round = 0;
     while (!Lock->tryLock(Saved, OwnerTag)) {
-      if (++Spins > 128) {
-        unlockFirstN(Acquired);
-        ++Stats.AbortsOnConflict;
-        obs::AbortSites::instance().record(Lock, obs::AbortCause::Conflict,
-                                           ownerSiteOf(Lock->load()));
-        rollbackAttempt(obs::AuxCauseConflict);
-        return false;
+      uint64_t W = Lock->load();
+      txn::ConflictChoice Choice = txn::ConflictChoice::Wait;
+      if (VersionedLock::isLocked(W))
+        Choice = CM.onConflict(
+            CmState,
+            reinterpret_cast<WTxManager *>(W & ~uint64_t(1))->CmState, Round,
+            BudgetRounds);
+      if (Choice == txn::ConflictChoice::Wait) {
+        if (Round++ == 0)
+          txn::CmStats::instance().bumpConflictWaits();
+        for (unsigned Spin = 0; Spin < RoundSpins - 1; ++Spin)
+          cpuRelax();
+        std::this_thread::yield();
+        continue;
       }
-      cpuRelax();
+      if (Choice == txn::ConflictChoice::AbortSelfPriority)
+        txn::CmStats::instance().bumpPriorityAborts();
+      unlockFirstN(Acquired);
+      ++Stats.AbortsOnConflict;
+      obs::AbortSites::instance().record(Lock, obs::AbortCause::Conflict,
+                                         ownerSiteOf(Lock->load()));
+      rollbackAttempt(obs::AuxCauseConflict);
+      return false;
     }
     // Saved is already a decoded version number (tryLock strips the lock
     // encoding). This pre-lock check is the only witness of commits that

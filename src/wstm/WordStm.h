@@ -24,9 +24,11 @@
 #include "obs/TxObs.h"
 #include "stm/Field.h"
 #include "stm/TxStats.h"
+#include "stm/TxManager.h" // shared process-wide TxConfig (policy knobs)
 #include "support/Backoff.h"
 #include "support/ChunkedVector.h"
 #include "support/Compiler.h"
+#include "txn/RetryExecutor.h"
 #include "wstm/VersionedLock.h"
 #include "wstm/WriteSet.h"
 
@@ -55,8 +57,11 @@ public:
   static std::atomic<uint64_t> &clock();
 
   void begin() {
-    if (Depth++ != 0)
+    if (Depth++ != 0) {
+      ++Stats.SubsumedTx; // flattened, like TxManager::begin
       return;
+    }
+    ActiveConfig = stm::TxManager::config();
     ReadVersion = clock().load(std::memory_order_acquire);
     gc::EpochManager::global().pin();
     ++Stats.Starts;
@@ -128,6 +133,10 @@ public:
     Stats.reset();
   }
 
+  /// Contention-management state (read cross-thread by attackers that find
+  /// this descriptor's tag in a locked stripe).
+  txn::CmTxState &cmState() { return CmState; }
+
 private:
   WTxManager() = default;
 
@@ -175,6 +184,7 @@ private:
 
   unsigned Depth = 0;
   uint64_t ReadVersion = 0;
+  stm::TxConfig ActiveConfig;
   WriteSet Writes;
   ChunkedVector<VersionedLock *> ReadSet;
   ChunkedVector<AllocRecord> Allocs;
@@ -182,39 +192,60 @@ private:
   std::vector<uint64_t> SavedVersions;     // pre-lock versions, commit scratch
   stm::TxStats Stats;
   obs::TxObs Obs;
+  txn::CmTxState CmState;
+};
+
+/// Binds txn::RetryExecutor to the word STM: WAbort is the abort protocol,
+/// read/write barriers are the karma work measure. Policy knobs are shared
+/// with the object STM through the process-wide TxConfig.
+struct WstmRetryAdapter {
+  using Manager = WTxManager;
+
+  static Manager &manager() { return WTxManager::current(); }
+  static bool inTx(Manager &Tx) { return Tx.inTx(); }
+  static void noteSubsumed(Manager &Tx) { ++Tx.stats().SubsumedTx; }
+  static void begin(Manager &Tx) { Tx.begin(); }
+
+  template <typename FnType>
+  static txn::AttemptOutcome attempt(Manager &Tx, FnType &Fn) {
+    try {
+      Fn(Tx);
+      if (Tx.tryCommit())
+        return txn::AttemptOutcome::Committed;
+      return txn::AttemptOutcome::RetryAbort;
+    } catch (const WAbort &) {
+      Tx.rollbackAttempt(obs::AuxCauseValidation);
+      return txn::AttemptOutcome::RetryAbort;
+    } catch (...) {
+      Tx.rollbackAttempt(obs::AuxCauseUser);
+      throw;
+    }
+  }
+
+  static uint64_t opCount(Manager &Tx) {
+    const stm::TxStats &S = Tx.stats();
+    return S.OpensForRead + S.OpensForUpdate;
+  }
+  static txn::CmTxState &cmState(Manager &Tx) { return Tx.cmState(); }
+  static txn::CmPolicy policy() {
+    return stm::TxManager::config().ContentionPolicy;
+  }
+  static unsigned fallbackAfter() {
+    return stm::TxManager::config().SerialFallbackAfter;
+  }
+  static uint64_t seedMix() { return 0x2545f4914f6cdd1dULL; }
 };
 
 /// Public entry point mirroring stm::Stm::atomic for the baseline STM.
 class WordStm {
 public:
   template <typename FnType> static void atomic(FnType &&Fn) {
-    WTxManager &Tx = WTxManager::current();
-    if (Tx.inTx()) {
-      Fn(Tx);
-      return;
-    }
-    Backoff B(reinterpret_cast<uintptr_t>(&Tx) * 0x2545f4914f6cdd1dULL);
-    for (;;) {
-      Tx.begin();
-      try {
-        Fn(Tx);
-        if (Tx.tryCommit())
-          return;
-      } catch (const WAbort &) {
-        Tx.rollbackAttempt(obs::AuxCauseValidation);
-      } catch (...) {
-        Tx.rollbackAttempt(obs::AuxCauseUser);
-        throw;
-      }
-      B.pause();
-    }
+    txn::RetryExecutor<WstmRetryAdapter>::atomic(std::forward<FnType>(Fn));
   }
 
   template <typename FnType> static auto atomicResult(FnType &&Fn) {
-    using ResultType = decltype(Fn(std::declval<WTxManager &>()));
-    ResultType Result{};
-    atomic([&](WTxManager &Tx) { Result = Fn(Tx); });
-    return Result;
+    return txn::RetryExecutor<WstmRetryAdapter>::atomicResult(
+        std::forward<FnType>(Fn));
   }
 };
 

@@ -20,6 +20,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 using namespace otm;
 using namespace otm::stm;
 
@@ -64,6 +67,67 @@ TEST(HashFilterTest, GrowthPreservesMembership) {
   for (uintptr_t K = 1; K <= 1000; ++K)
     EXPECT_FALSE(F.insert(K * 16));
   EXPECT_EQ(F.size(), 1000u);
+}
+
+TEST(HashFilterTest, ManyClearGenerationsNeverResurrectEntries) {
+  // clear() is O(1) by bumping a generation stamp, and grow() burns an
+  // extra generation per rehash; stale slots from any earlier generation
+  // must stay logically empty no matter how many generations have passed.
+  HashFilter F;
+  for (uint64_t Cycle = 1; Cycle <= 5000; ++Cycle) {
+    uintptr_t K1 = Cycle * 64, K2 = Cycle * 64 + 8;
+    EXPECT_TRUE(F.insert(K1));
+    EXPECT_TRUE(F.insert(K2));
+    EXPECT_FALSE(F.insert(K1)) << "duplicate not caught in cycle " << Cycle;
+    EXPECT_EQ(F.size(), 2u);
+    if (Cycle > 1)
+      EXPECT_FALSE(F.contains((Cycle - 1) * 64))
+          << "previous cycle's key resurrected in cycle " << Cycle;
+    F.clear();
+    EXPECT_FALSE(F.contains(K1));
+    EXPECT_FALSE(F.contains(K2));
+    EXPECT_EQ(F.size(), 0u);
+  }
+}
+
+TEST(HashFilterTest, GrowAfterManyClearsStaysExact) {
+  // A grow rehash keys off the pre-grow generation; after a long clear
+  // history the rehashed table must carry exactly the live keys forward.
+  HashFilter F;
+  for (uintptr_t K = 1; K <= 200; ++K) {
+    F.insert(K * 8);
+    F.clear();
+  }
+  for (uintptr_t K = 1; K <= 500; ++K) // forces several grows
+    EXPECT_TRUE(F.insert(K * 32));
+  EXPECT_EQ(F.size(), 500u);
+  for (uintptr_t K = 1; K <= 500; ++K) {
+    EXPECT_TRUE(F.contains(K * 32));
+    EXPECT_FALSE(F.insert(K * 32));
+  }
+  EXPECT_FALSE(F.contains(8)) << "pre-clear key leaked through the grow";
+}
+
+TEST(StmBasic, ReadFilterGrowsMidTransaction) {
+  // More distinct opens than the filter's initial capacity: the filter
+  // grows inside the transaction and must keep catching duplicates (the
+  // read log stays deduplicated) without dropping first-time opens.
+  ConfigGuard Guard;
+  TxManager::config().FilterReads = true;
+  constexpr std::size_t NumObjs = 300; // initial capacity is 64 slots
+  std::vector<std::unique_ptr<Point>> Objs;
+  for (std::size_t I = 0; I < NumObjs; ++I)
+    Objs.push_back(std::make_unique<Point>());
+  uint64_t FilteredBefore = TxManager::current().stats().ReadsFiltered;
+  Stm::atomic([&](TxManager &Tx) {
+    for (auto &P : Objs)
+      Tx.openForRead(P.get());
+    for (auto &P : Objs)
+      Tx.openForRead(P.get()); // every one a duplicate
+    EXPECT_EQ(Tx.readLogSizeForTesting(), NumObjs);
+  });
+  EXPECT_EQ(TxManager::current().stats().ReadsFiltered - FilteredBefore,
+            NumObjs);
 }
 
 TEST(StmBasic, CommitPublishesValues) {

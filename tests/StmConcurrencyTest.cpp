@@ -19,6 +19,7 @@
 #include "stm/TxGlobal.h"
 #include "support/Random.h"
 #include "support/ThreadBarrier.h"
+#include "txn/CmStats.h"
 
 #include <gtest/gtest.h>
 
@@ -38,6 +39,12 @@ struct Counter : TxObject {
 
 struct Account : TxObject {
   Field<int64_t> Balance;
+};
+
+struct ConfigGuard {
+  ConfigGuard() : Saved(TxManager::config()) {}
+  ~ConfigGuard() { TxManager::config() = Saved; }
+  TxConfig Saved;
 };
 
 } // namespace
@@ -213,6 +220,60 @@ TEST(StmConcurrency, LongOwnershipForcesConflictAborts) {
   TxStats G = Stm::globalStats();
   EXPECT_GE(G.AbortsOnConflict, 1u)
       << "attacker should have aborted at least once while owner held C";
+}
+
+TEST(StmConcurrency, StarvedReaderCommitsThroughSerialFallback) {
+  // Starvation regression for the serial-irrevocable fallback: one long
+  // read-mostly transaction scans a pool of counters (yielding between
+  // reads, so writers commit mid-scan) while writer threads continuously
+  // invalidate its read set. With optimistic validation alone the scan
+  // livelocks; the retry budget must escalate it to serial mode, where the
+  // writers drain and the scan commits.
+  constexpr int NumCounters = 64;
+  constexpr int NumWriters = 3;
+  ConfigGuard Guard;
+  TxManager::config().SerialFallbackAfter = 8; // escalate quickly
+  std::vector<Counter> Counters(NumCounters);
+  std::atomic<bool> Done{false};
+  txn::CmStatsSnapshot Before = txn::CmStats::instance().snapshot();
+
+  std::vector<std::thread> Writers;
+  for (int W = 0; W < NumWriters; ++W)
+    Writers.emplace_back([&, W] {
+      Xoshiro256 Rng(4200 + W);
+      while (!Done.load(std::memory_order_acquire))
+        Stm::atomic([&](TxManager &Tx) {
+          Counter &C = Counters[Rng.nextBelow(NumCounters)];
+          Tx.write(&C, &Counter::Value, Tx.read(&C, &Counter::Value) + 1);
+        });
+    });
+
+  int64_t Sum = -1;
+  unsigned Attempts = 0;
+  std::thread Reader([&] {
+    Stm::atomic([&](TxManager &Tx) {
+      ++Attempts;
+      int64_t S = 0;
+      for (Counter &C : Counters) {
+        S += Tx.read(&C, &Counter::Value);
+        std::this_thread::yield(); // let writers commit mid-scan
+      }
+      Sum = S;
+    });
+    Done.store(true, std::memory_order_release);
+  });
+
+  Reader.join();
+  for (std::thread &W : Writers)
+    W.join();
+
+  txn::CmStatsSnapshot After = txn::CmStats::instance().snapshot();
+  EXPECT_GE(Sum, 0);
+  EXPECT_GT(Attempts, TxManager::config().SerialFallbackAfter)
+      << "scan committed optimistically; the workload no longer starves it";
+  EXPECT_GE(After.FallbackEntries - Before.FallbackEntries, 1u)
+      << "the starving scan never escalated to serial-irrevocable mode";
+  EXPECT_GE(After.FallbackCommits - Before.FallbackCommits, 1u);
 }
 
 TEST(StmConcurrency, ValidationCatchesInterleavedCommit) {
