@@ -13,11 +13,15 @@
 
 #include "bench/BenchUtil.h"
 #include "stm/HashFilter.h"
+#include "stm/LogEntries.h"
 #include "stm/Stm.h"
+#include "support/ChunkedVector.h"
+#include "support/TxPool.h"
 #include "wstm/WordStm.h"
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 using namespace otm;
@@ -119,6 +123,63 @@ void BM_HashFilterInsert(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_HashFilterInsert);
+
+void BM_LogAppend(benchmark::State &State) {
+  // The pointer-bump append/clear cycle of the log container itself: the
+  // unit cost under every enlistment (read log shown; all logs share it).
+  ChunkedVector<ReadEntry> Log;
+  Cell C;
+  for (auto _ : State) {
+    for (int I = 0; I < 64; ++I)
+      Log.emplaceBack(&C, WordValue{0});
+    benchmark::DoNotOptimize(Log.size());
+    Log.clear();
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_LogAppend);
+
+void BM_ValidateScan(benchmark::State &State) {
+  // Commit-time read-set validation: chunk-wise walk of a 256-entry read
+  // log with one dependent STM-word load per entry (prefetched one ahead).
+  std::vector<std::unique_ptr<Cell>> Cells;
+  for (int I = 0; I < 256; ++I)
+    Cells.push_back(std::make_unique<Cell>());
+  TxManager &Tx = TxManager::current();
+  Tx.begin();
+  for (auto &C : Cells)
+    Tx.openForRead(C.get());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Tx.validate());
+  Tx.tryCommit();
+  State.SetItemsProcessed(State.iterations() * 256);
+}
+BENCHMARK(BM_ValidateScan);
+
+void BM_AllocAbortChurn(benchmark::State &State) {
+  // Abort-heavy allocation churn: every attempt allocates one object and
+  // aborts, so the object round-trips allocInTx -> epoch retirement ->
+  // TxPool free list instead of malloc/free.
+  for (auto _ : State) {
+    Stm::atomic([&](TxManager &Tx) {
+      Cell *C = Tx.allocInTx<Cell>();
+      benchmark::DoNotOptimize(C);
+      Tx.userAbort();
+    });
+  }
+}
+BENCHMARK(BM_AllocAbortChurn);
+
+void BM_TxPoolAllocFree(benchmark::State &State) {
+  // The pool fast path by itself: same-thread allocate/deallocate pair
+  // (free-list pop + push) for a transactional-object-sized block.
+  for (auto _ : State) {
+    void *P = support::TxPool::allocate(sizeof(Cell));
+    benchmark::DoNotOptimize(P);
+    support::TxPool::deallocate(P);
+  }
+}
+BENCHMARK(BM_TxPoolAllocFree);
 
 void BM_UncontendedRawLoad(benchmark::State &State) {
   // The floor every barrier is compared against.

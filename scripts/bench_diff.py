@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two otm-bench-stats-v1 JSON files (BENCH_E<n>.json).
+
+The benchmarks emit machine-readable stats next to their timing numbers.
+Timing moves with the host; the *count* columns (static barriers after each
+pass, runtime filter hits, GC compaction drops, ...) are deterministic and
+must not drift when a change claims to be perf-only. This tool diffs the
+deterministic rows of two such files and fails when any count changes.
+
+Usage:
+  bench_diff.py BASE.json NEW.json [--allow-diff]
+
+Compared:
+  - runs[]           per-row count fields, matched by "label"
+  - pass_stats[]     static pass counters, matched by "group/name"
+
+Excluded (host/timing dependent):
+  - per-row timing fields (cpu_time_ns, real_time_ns, seconds, iterations)
+  - the stm/txn_cm aggregate counter blocks and histograms: they also count
+    warm-up and timing iterations, whose number the benchmark harness picks
+    adaptively, so they are not comparable across runs
+
+Exit status: 0 when all compared fields match (or --allow-diff), 1 on any
+difference, 2 on usage/schema errors.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "otm-bench-stats-v1"
+
+# Per-row fields that scale with wall time or the harness's adaptive
+# iteration count; everything else in a run row is a deterministic count
+# (or a checksum-style "result" that must match exactly).
+TIMING_FIELDS = {"cpu_time_ns", "real_time_ns", "seconds", "iterations"}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"bench_diff: {path}: expected schema {SCHEMA!r}, "
+                 f"got {doc.get('schema')!r}")
+    return doc
+
+
+def comparable_rows(doc):
+    """Yields (row_key, {field: value}) for every deterministic row."""
+    for row in doc.get("runs", []):
+        label = row.get("label", "?")
+        fields = {k: v for k, v in row.items()
+                  if k != "label" and k not in TIMING_FIELDS}
+        if fields:
+            yield f"runs/{label}", fields
+    for row in doc.get("pass_stats", []):
+        key = f"pass_stats/{row.get('group', '?')}/{row.get('name', '?')}"
+        yield key, {"value": row.get("value")}
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Diff the deterministic count rows of two "
+                    "otm-bench-stats-v1 files.")
+    ap.add_argument("base", help="baseline BENCH_E<n>.json")
+    ap.add_argument("new", help="candidate BENCH_E<n>.json")
+    ap.add_argument("--allow-diff", action="store_true",
+                    help="report differences but exit 0")
+    args = ap.parse_args(argv)
+
+    base_doc, new_doc = load(args.base), load(args.new)
+    if base_doc.get("bench") != new_doc.get("bench"):
+        sys.exit(f"bench_diff: comparing different benches: "
+                 f"{base_doc.get('bench')!r} vs {new_doc.get('bench')!r}")
+
+    base_rows = dict(comparable_rows(base_doc))
+    new_rows = dict(comparable_rows(new_doc))
+
+    diffs = []
+    for key in sorted(base_rows.keys() | new_rows.keys()):
+        b, n = base_rows.get(key), new_rows.get(key)
+        if b is None:
+            diffs.append(f"{key}: only in {args.new}")
+            continue
+        if n is None:
+            diffs.append(f"{key}: only in {args.base}")
+            continue
+        for field in sorted(b.keys() | n.keys()):
+            bv, nv = b.get(field), n.get(field)
+            if bv == nv:
+                continue
+            delta = ""
+            if isinstance(bv, (int, float)) and isinstance(nv, (int, float)):
+                delta = f" ({nv - bv:+})"
+            diffs.append(f"{key}.{field}: {bv} -> {nv}{delta}")
+
+    bench = base_doc.get("bench", "?")
+    if diffs:
+        print(f"bench_diff: {bench}: {len(diffs)} difference(s):")
+        for d in diffs:
+            print(f"  {d}")
+        return 0 if args.allow_diff else 1
+    print(f"bench_diff: {bench}: {len(base_rows)} row(s) identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

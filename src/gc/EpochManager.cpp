@@ -6,6 +6,8 @@
 
 #include "gc/EpochManager.h"
 
+#include "support/Compiler.h"
+
 #include <cassert>
 
 using namespace otm;
@@ -65,8 +67,10 @@ void EpochManager::pin() {
   // Publish the epoch we entered under. The seq_cst store orders the
   // publication against subsequent shared-memory loads.
   uint64_t E = GlobalEpoch.load(std::memory_order_seq_cst);
+  TS.LastEpoch = E;
   TS.S->LocalEpoch.store(E, std::memory_order_seq_cst);
 }
+
 
 void EpochManager::unpin() {
   ThreadState &TS = state();

@@ -25,6 +25,8 @@
 #ifndef OTM_GC_EPOCHMANAGER_H
 #define OTM_GC_EPOCHMANAGER_H
 
+#include "support/Compiler.h"
+
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -74,6 +76,15 @@ public:
   /// Total objects freed so far (for tests and the E8 bench).
   uint64_t freedCount() const { return Freed.load(std::memory_order_relaxed); }
 
+  class ThreadPin;
+
+  /// The calling thread's pin handle. Fetch once per scope that pins on a
+  /// hot path and operate on the handle: every ThreadPin method is inline
+  /// and thread-local-lookup-free. The handle is valid for the lifetime of
+  /// the calling thread (it points at the same per-thread state pin()
+  /// uses, so handle and non-handle calls nest freely).
+  ThreadPin threadPin();
+
 private:
   EpochManager() = default;
 
@@ -94,6 +105,7 @@ private:
   struct ThreadState {
     Slot *S = nullptr;
     unsigned PinDepth = 0;
+    uint64_t LastEpoch = 0; ///< epoch published by the last outermost pin
     std::vector<Retired> Bin;
     EpochManager *Owner = nullptr;
     ~ThreadState();
@@ -114,6 +126,76 @@ private:
   std::mutex OrphanMutex;
   std::vector<Retired> OrphanBin; // bins of exited threads
 };
+
+/// Inline, cached-thread-state pin operations (see threadPin()). Two entry
+/// styles:
+///
+///   - pin()/unpin(): the full protocol, equivalent to the EpochManager
+///     methods minus the thread-local lookup.
+///   - prePin()/confirmPin() around a caller-owned seq_cst fence: prePin
+///     publishes the epoch observed by the previous pin with a relaxed
+///     store — a stale epoch is always safe to publish, it can only lower
+///     minActiveEpoch() and delay reclamation. After the caller's fence,
+///     confirmPin() re-reads the global epoch and re-publishes behind its
+///     own fence in the rare case it advanced, restoring pin()'s protocol
+///     while letting the common case share one fence with the caller's
+///     other per-attempt publications (the serial gate's Dekker store).
+class EpochManager::ThreadPin {
+public:
+  void pin() {
+    if (TS->PinDepth++ != 0)
+      return;
+    uint64_t E = EM->GlobalEpoch.load(std::memory_order_seq_cst);
+    TS->LastEpoch = E;
+    TS->S->LocalEpoch.store(E, std::memory_order_seq_cst);
+  }
+
+  void prePin() {
+    if (TS->PinDepth++ != 0)
+      return;
+#if OTM_TSAN
+    // TSan does not understand the caller's fence; keep the seq_cst-store
+    // protocol so the pin/collect synchronization stays visible to it.
+    uint64_t E = EM->GlobalEpoch.load(std::memory_order_seq_cst);
+    TS->LastEpoch = E;
+    TS->S->LocalEpoch.store(E, std::memory_order_seq_cst);
+#else
+    TS->S->LocalEpoch.store(TS->LastEpoch, std::memory_order_relaxed);
+#endif
+  }
+
+  void confirmPin() {
+    if (TS->PinDepth != 1)
+      return; // nested: the outermost pin's publication already stands
+    // The caller fenced after prePin's relaxed publication, so this load
+    // is ordered after it. If the global epoch moved past the (stale)
+    // value we published, catch up: each re-publication gets its own
+    // fence before the re-check, restoring the pin() protocol exactly.
+    uint64_t E = EM->GlobalEpoch.load(std::memory_order_relaxed);
+    while (OTM_UNLIKELY(E != TS->LastEpoch)) {
+      TS->S->LocalEpoch.store(E, std::memory_order_relaxed);
+      TS->LastEpoch = E;
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      E = EM->GlobalEpoch.load(std::memory_order_relaxed);
+    }
+  }
+
+  void unpin() {
+    if (--TS->PinDepth == 0)
+      TS->S->LocalEpoch.store(Unpinned, std::memory_order_release);
+  }
+
+private:
+  friend class EpochManager;
+  ThreadPin(EpochManager *EM, ThreadState *TS) : EM(EM), TS(TS) {}
+
+  EpochManager *EM;
+  ThreadState *TS;
+};
+
+inline EpochManager::ThreadPin EpochManager::threadPin() {
+  return ThreadPin(this, &state());
+}
 
 /// Convenience: retire \p Ptr with a typed deleter.
 template <typename T> void retireObject(T *Ptr) {

@@ -40,6 +40,9 @@ namespace otm {
 namespace interp {
 
 /// One heap cell: a class instance (Class != nullptr) or an i64 array.
+/// Inherits TxObject's pooled operator new/delete, so the allocation-heavy
+/// E8 workloads (allocate, retire, collect) recycle cell blocks through the
+/// per-thread transaction pool instead of malloc.
 class HeapObject : public stm::TxObject {
 public:
   HeapObject(const tmir::ClassDecl *Class, std::size_t SlotCount)

@@ -51,6 +51,14 @@ struct ReadEntry {
 /// but the access must be atomic to be defined; relaxed ordering keeps it an
 /// ordinary load/store, mirroring Field<T>. Obj and PrevWord are only ever
 /// read by the owning thread (validateEntry checks Owner == this first).
+///
+/// This is also why the type keeps an assignment operator: ChunkedVector
+/// reuses previously-published slots *by assignment* (its reuse-by-assign
+/// mode for trivially destructible types), so re-initializing Owner stays a
+/// relaxed atomic store rather than a plain placement-new write that a
+/// stale reader could race with. Fresh, never-published slots are
+/// placement-new constructed, which is safe because their address has not
+/// yet escaped this thread.
 struct UpdateEntry {
   TxObject *Obj = nullptr;
   WordValue PrevWord = 0;

@@ -29,38 +29,19 @@ struct TlsHolder {
 
 } // namespace
 
-TxManager &TxManager::current() {
+constinit thread_local TxManager *otm::stm::detail::CurrentTxPtr = nullptr;
+
+TxManager &TxManager::currentSlow() {
   static thread_local TlsHolder Holder;
-  if (OTM_UNLIKELY(!Holder.Manager)) {
-    Holder.Manager = new TxManager();
-    Holder.Manager->Obs.attachThread();
-  }
+  Holder.Manager = new TxManager();
+  Holder.Manager->Obs.attachThread();
+  detail::CurrentTxPtr = Holder.Manager;
   return *Holder.Manager;
 }
 
 TlsHolder::~TlsHolder() {
   if (Manager)
     Manager->flushStats();
-}
-
-TxConfig &TxManager::config() {
-  static TxConfig Config;
-  return Config;
-}
-
-void TxManager::begin() {
-  if (Depth++ != 0) {
-    ++Stats.SubsumedTx; // flattened nested transaction
-    return;
-  }
-  ActiveConfig = config();
-  FilterReadsOn = ActiveConfig.FilterReads;
-  FilterUndoOn = ActiveConfig.FilterUndo;
-  assert(ReadLog.empty() && UpdateLog.empty() && UndoLog.empty() &&
-         AllocLog.empty() && "logs leaked from a previous attempt");
-  gc::EpochManager::global().pin();
-  ++Stats.Starts;
-  Obs.onBegin(0);
 }
 
 bool TxManager::validateEntry(const ReadEntry &Entry) const {
@@ -78,10 +59,24 @@ bool TxManager::validateEntry(const ReadEntry &Entry) const {
 
 bool TxManager::validate() {
   assert(inTx() && "validate outside a transaction");
-  for (std::size_t I = 0, E = ReadLog.size(); I != E; ++I)
-    if (OTM_UNLIKELY(!validateEntry(ReadLog[I])))
-      return false;
-  return true;
+  // Walk the raw chunk arrays (no per-index arithmetic) and prefetch the
+  // next entry's STM word one step ahead: the words live in the objects,
+  // not the log, so a large read set takes a dependent cache miss per
+  // entry that the prefetch overlaps with the current compare.
+  bool Ok = true;
+  ReadLog.forEachChunkArray([&](ReadEntry *Data, std::size_t N) {
+    if (!Ok)
+      return;
+    for (std::size_t I = 0; I != N; ++I) {
+      if (OTM_LIKELY(I + 1 != N))
+        OTM_PREFETCH(&Data[I + 1].Obj->Word);
+      if (OTM_UNLIKELY(!validateEntry(Data[I]))) {
+        Ok = false;
+        return;
+      }
+    }
+  });
+  return Ok;
 }
 
 void TxManager::releaseOwnershipForCommit() {
@@ -95,17 +90,6 @@ void TxManager::releaseOwnershipForAbort() {
   UpdateLog.forEach([](UpdateEntry &Entry) {
     Entry.Obj->Word.store(Entry.PrevWord, std::memory_order_release);
   });
-}
-
-void TxManager::finishAttempt() {
-  ReadLog.clear();
-  UpdateLog.clear();
-  UndoLog.clear();
-  AllocLog.clear();
-  ReadFilter.clear();
-  UndoFilter.clear();
-  Depth = 0;
-  gc::EpochManager::global().unpin();
 }
 
 bool TxManager::tryCommit() {
@@ -124,16 +108,19 @@ bool TxManager::tryCommit() {
 
   // Serialization point. Publish new versions; owned objects were
   // exclusively ours, so each release makes one update atomically visible.
-  releaseOwnershipForCommit();
+  // Read-only transactions skip the (out-of-line) release walk entirely.
+  if (!UpdateLog.empty())
+    releaseOwnershipForCommit();
   ++Stats.Commits;
   Obs.onCommit(0, Stats.CommitTscCycles, Stats.RetriesPerCommit);
 
   // Deferred frees take effect only now that the deletion is committed;
   // epoch-based retirement protects concurrent zombies still holding refs.
-  AllocLog.forEach([](AllocEntry &Entry) {
-    if (Entry.FreeOnCommit)
-      gc::EpochManager::global().retire(Entry.Raw, Entry.Destroy);
-  });
+  if (OTM_UNLIKELY(!AllocLog.empty()))
+    AllocLog.forEach([](AllocEntry &Entry) {
+      if (Entry.FreeOnCommit)
+        gc::EpochManager::global().retire(Entry.Raw, Entry.Destroy);
+    });
   finishAttempt();
   return true;
 }

@@ -36,6 +36,7 @@
 #ifndef OTM_STM_TXMANAGER_H
 #define OTM_STM_TXMANAGER_H
 
+#include "gc/EpochManager.h"
 #include "obs/TxObs.h"
 #include "stm/Field.h"
 #include "stm/HashFilter.h"
@@ -64,14 +65,34 @@ struct AbortTx {
   Cause Why = Cause::Conflict;
 };
 
+class TxManager;
+
+namespace detail {
+/// The calling thread's manager, or nullptr before its first transaction.
+/// constinit guarantees constant initialization, so cross-TU accesses
+/// compile to a direct TLS load with no init-wrapper call — this sits on
+/// the entry path of every top-level transaction.
+extern constinit thread_local TxManager *CurrentTxPtr;
+} // namespace detail
+
 class TxManager {
 public:
   /// Returns the calling thread's transaction manager (the paper's
   /// GetTxManager operation; creation is lazy and thread-local).
-  static TxManager &current();
+  static TxManager &current() {
+    TxManager *Tx = detail::CurrentTxPtr;
+    if (OTM_UNLIKELY(!Tx))
+      return currentSlow();
+    return *Tx;
+  }
 
   /// Process-wide configuration; sampled at begin() of each transaction.
-  static TxConfig &config();
+  /// Inline: the retry layer reads the policy knobs once or twice per
+  /// transaction, and an out-of-line call costs more than the access.
+  static TxConfig &config() {
+    static TxConfig Config;
+    return Config;
+  }
 
   TxManager(const TxManager &) = delete;
   TxManager &operator=(const TxManager &) = delete;
@@ -82,7 +103,20 @@ public:
 
   /// Starts a transaction. Nested calls are flattened (subsumption): only
   /// the outermost begin/commit pair does real work.
-  void begin();
+  void begin() {
+    if (Depth++ != 0) {
+      ++Stats.SubsumedTx; // flattened nested transaction
+      return;
+    }
+    ActiveConfig = config();
+    FilterReadsOn = ActiveConfig.FilterReads;
+    FilterUndoOn = ActiveConfig.FilterUndo;
+    assert(ReadLog.empty() && UpdateLog.empty() && UndoLog.empty() &&
+           AllocLog.empty() && "logs leaked from a previous attempt");
+    EPin.pin(); // nested under RetryController's pre-pin on executor paths
+    ++Stats.Starts;
+    Obs.onBegin(0);
+  }
 
   /// Attempts to commit the innermost begin(). For the outermost level,
   /// validates the read log and either publishes (returns true) or rolls
@@ -163,7 +197,10 @@ public:
 
   /// Allocates a transaction-local object. If the transaction aborts the
   /// object is destroyed; opens and undo logging on it are unnecessary
-  /// (the compiler's alloc-elision pass exploits exactly this).
+  /// (the compiler's alloc-elision pass exploits exactly this). The `new`
+  /// lands in the per-thread transaction pool (TxObject::operator new), so
+  /// abort-heavy churn recycles blocks O(1) once the epoch reclaimer
+  /// returns them.
   template <typename T, typename... ArgTypes> T *allocInTx(ArgTypes &&...Args) {
     T *Obj = new T(std::forward<ArgTypes>(Args)...);
     recordAlloc(Obj);
@@ -189,6 +226,7 @@ public:
                          static_cast<void *>(Obj),
                          +[](void *P) { delete static_cast<T *>(P); },
                          /*FreeOnCommit=*/true);
+    ++Stats.Retires;
   }
 
   //===--------------------------------------------------------------------===
@@ -270,6 +308,9 @@ private:
   TxManager() = default;
   friend class TxManagerTestPeer;
 
+  /// Creates and registers this thread's manager (first use only).
+  static TxManager &currentSlow();
+
   /// Spins while \p Obj is owned by another transaction; returns the
   /// unowned word, or aborts this transaction after the spin budget.
   WordValue waitForUnowned(TxObject *Obj);
@@ -283,7 +324,20 @@ private:
   bool validateEntry(const ReadEntry &Entry) const;
   void releaseOwnershipForCommit();
   void releaseOwnershipForAbort();
-  void finishAttempt();
+
+  /// Per-attempt epilogue: reset logs and filters, unpin the epoch. All
+  /// clears are pointer/generation resets, so this inlines into the commit
+  /// and rollback paths without touching chunk storage.
+  void finishAttempt() {
+    ReadLog.clear();
+    UpdateLog.clear();
+    UndoLog.clear();
+    AllocLog.clear();
+    ReadFilter.clear();
+    UndoFilter.clear();
+    Depth = 0;
+    EPin.unpin();
+  }
 
   template <typename T> static void restoreField(void *Addr, uint64_t Bits) {
     static_cast<Field<T> *>(Addr)->restoreFromBits(Bits);
@@ -304,6 +358,11 @@ private:
   TxStats Stats;
   obs::TxObs Obs;
   txn::CmTxState CmState;
+
+  /// Cached per-thread pin handle: begin()/finishAttempt() pin and unpin
+  /// once per attempt, so the inline handle keeps the epoch operations off
+  /// the out-of-line + thread-local-lookup path.
+  gc::EpochManager::ThreadPin EPin = gc::EpochManager::global().threadPin();
 };
 
 } // namespace stm

@@ -16,8 +16,11 @@
 #define OTM_STM_TXOBJECT_H
 
 #include "stm/StmWord.h"
+#include "support/TxPool.h"
 
 #include <atomic>
+#include <cstddef>
+#include <new>
 
 namespace otm {
 namespace stm {
@@ -25,11 +28,43 @@ namespace stm {
 class TxManager;
 
 /// Base class for transactional objects (one STM word of overhead).
+///
+/// Heap allocation is routed through the per-thread transaction pool
+/// (support/TxPool.h): every `new`/`delete` of a TxObject-derived type —
+/// allocInTx, container node creation, retireOnCommit's deferred deleters —
+/// recycles size-classed blocks in O(1) instead of round-tripping malloc.
+/// Deletion through the epoch reclaimer may run on a foreign thread; the
+/// pool's block headers route such frees back to the owning pool safely.
 class TxObject {
 public:
   TxObject() : Word(makeVersion(0)) {}
   TxObject(const TxObject &) = delete;
   TxObject &operator=(const TxObject &) = delete;
+
+  static void *operator new(std::size_t Size) {
+    return support::TxPool::allocate(Size);
+  }
+  static void operator delete(void *P) noexcept {
+    if (P)
+      support::TxPool::deallocate(P);
+  }
+  static void operator delete(void *P, std::size_t) noexcept {
+    if (P)
+      support::TxPool::deallocate(P);
+  }
+  /// Over-aligned derived types bypass the pool (its blocks are 16-aligned).
+  static void *operator new(std::size_t Size, std::align_val_t Align) {
+    return ::operator new(Size, Align);
+  }
+  static void operator delete(void *P, std::align_val_t Align) noexcept {
+    ::operator delete(P, Align);
+  }
+  /// Class-scope operator new hides the global placement forms; restore them.
+  static void *operator new(std::size_t, void *Place) noexcept { return Place; }
+  static void operator delete(void *, void *) noexcept {}
+  /// Arrays of transactional objects are rare; keep them off the pool.
+  static void *operator new[](std::size_t Size) { return ::operator new(Size); }
+  static void operator delete[](void *P) noexcept { ::operator delete(P); }
 
   /// Current version; asserts the object is not open for update. Intended
   /// for tests and statistics, not for synchronization decisions.

@@ -42,7 +42,8 @@ namespace stm {
   X(ReadsFiltered)                                                             \
   X(UndoLogAppends)                                                            \
   X(UndosFiltered)                                                             \
-  X(Allocations)
+  X(Allocations)                                                               \
+  X(Retires) /* retireOnCommit calls (deferred deletes), both STMs */
 
 /// Power-of-two distributions sampled when obs::setSampling(true):
 /// CommitTscCycles is outermost begin() -> published commit in TSC ticks;

@@ -10,49 +10,116 @@
 /// word points directly at its update-log entry while the transaction owns
 /// it, so the entry must not be relocated by a push_back of a later entry.
 ///
+/// The append path is the hottest loop in the whole runtime (every
+/// OpenForRead / LogForUndo ends in one), so it is a pointer bump: the
+/// vector caches Cur/End tail pointers into the active chunk and
+/// emplaceBack is compare + placement-new + two increments — no division by
+/// ChunkSize, no chunk-table indexing, no default-construct-then-assign.
+/// Likewise the log walks (validation, commit release, undo replay, GC
+/// compaction) iterate chunk-wise over raw entry arrays instead of paying a
+/// div/mod per index.
+///
+/// Storage is raw memory, so element types only need a constructor matching
+/// the emplaceBack arguments — move-only and non-default-constructible
+/// types work. One refinement exists for the update log's benefit: when T
+/// is trivially destructible and move-assignable, entries logically removed
+/// by clear()/popBack() stay constructed and are *reused by assignment* on
+/// the next append. UpdateEntry needs exactly this: its Owner field is an
+/// atomic that a zombie transaction on another thread may still load an
+/// instant after release, so re-initializing the slot must be an atomic
+/// store (assignment), not a plain placement-new write. Fresh chunk slots
+/// have never been published and are placement-new constructed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OTM_SUPPORT_CHUNKEDVECTOR_H
 #define OTM_SUPPORT_CHUNKEDVECTOR_H
 
+#include "support/Compiler.h"
+
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace otm {
 
 template <typename T, std::size_t ChunkSize = 256> class ChunkedVector {
+  /// Slots below the construction high-water mark are kept alive across
+  /// clear() and reused by assignment (see file comment). Only sound when
+  /// skipping the destructor is a no-op and assignment exists.
+  static constexpr bool ReuseByAssign =
+      std::is_trivially_destructible_v<T> && std::is_move_assignable_v<T>;
+
 public:
   ChunkedVector() = default;
   ChunkedVector(const ChunkedVector &) = delete;
   ChunkedVector &operator=(const ChunkedVector &) = delete;
 
+  ~ChunkedVector() {
+    destroyAll();
+    for (T *Chunk : Chunks)
+      std::allocator<T>().deallocate(Chunk, ChunkSize);
+  }
+
   /// Appends a value and returns a pointer that remains valid until clear().
   template <typename... ArgTypes> T *emplaceBack(ArgTypes &&...Args) {
-    std::size_t Chunk = Count / ChunkSize;
-    std::size_t Offset = Count % ChunkSize;
-    if (Chunk == Chunks.size())
-      Chunks.push_back(std::make_unique<T[]>(ChunkSize));
-    T *Slot = &Chunks[Chunk][Offset];
-    *Slot = T(std::forward<ArgTypes>(Args)...);
+    if (OTM_UNLIKELY(Cur == End))
+      grow();
+    T *Slot = Cur;
+    if constexpr (ReuseByAssign) {
+      if (OTM_LIKELY(Count < Constructed))
+        *Slot = T(std::forward<ArgTypes>(Args)...);
+      else {
+        ::new (static_cast<void *>(Slot)) T(std::forward<ArgTypes>(Args)...);
+        ++Constructed;
+      }
+    } else {
+      ::new (static_cast<void *>(Slot)) T(std::forward<ArgTypes>(Args)...);
+    }
+    ++Cur;
     ++Count;
     return Slot;
   }
 
   /// Logically empties the log. Chunk storage is retained for reuse so that
   /// steady-state transactions allocate nothing.
-  void clear() { Count = 0; }
+  void clear() {
+    destroyAll();
+    Count = 0;
+    ActiveChunk = 0;
+    if (!Chunks.empty()) {
+      Cur = Chunks[0];
+      End = Cur + ChunkSize;
+    }
+  }
 
   /// Removes the most recently appended entry.
   void popBack() {
     assert(Count > 0 && "popBack on empty log");
+    if (OTM_UNLIKELY(Cur == Chunks[ActiveChunk])) {
+      --ActiveChunk;
+      Cur = End = Chunks[ActiveChunk] + ChunkSize;
+    }
+    --Cur;
     --Count;
+    if constexpr (!ReuseByAssign) {
+      Cur->~T();
+      --Constructed;
+    }
   }
 
   T &back() {
     assert(Count > 0 && "back on empty log");
-    return (*this)[Count - 1];
+    // popBack can leave Cur parked at the base of the active chunk (it only
+    // re-seats the tail pointers on the *next* pop); the last entry then
+    // lives at the end of the previous chunk.
+    if (OTM_UNLIKELY(Cur == Chunks[ActiveChunk]))
+      return Chunks[ActiveChunk - 1][ChunkSize - 1];
+    return *(Cur - 1);
   }
 
   std::size_t size() const { return Count; }
@@ -68,16 +135,43 @@ public:
     return Chunks[Index / ChunkSize][Index % ChunkSize];
   }
 
-  /// Iterates over entries in insertion order.
+  /// Visits (T *Data, std::size_t N) per chunk in insertion order: the raw
+  /// contiguous entry arrays the hot log scans iterate over.
+  template <typename FnType> void forEachChunkArray(FnType Fn) {
+    std::size_t Remaining = Count;
+    for (std::size_t C = 0; Remaining != 0; ++C) {
+      std::size_t N = Remaining < ChunkSize ? Remaining : ChunkSize;
+      Fn(Chunks[C], N);
+      Remaining -= N;
+    }
+  }
+
+  /// Iterates over entries in insertion order (chunk-wise).
   template <typename FnType> void forEach(FnType Fn) {
-    for (std::size_t I = 0; I < Count; ++I)
-      Fn((*this)[I]);
+    forEachChunkArray([&](T *Data, std::size_t N) {
+      for (std::size_t I = 0; I < N; ++I)
+        Fn(Data[I]);
+    });
   }
 
   /// Iterates over entries in reverse insertion order (undo replay order).
   template <typename FnType> void forEachReverse(FnType Fn) {
-    for (std::size_t I = Count; I > 0; --I)
-      Fn((*this)[I - 1]);
+    std::size_t Remaining = Count;
+    std::size_t C = Remaining / ChunkSize; // chunk holding the tail
+    std::size_t Tail = Remaining % ChunkSize;
+    if (Tail == 0 && C > 0) {
+      --C;
+      Tail = ChunkSize;
+    }
+    for (;;) {
+      T *Data = Chunks.empty() ? nullptr : Chunks[C];
+      for (std::size_t I = Tail; I > 0; --I)
+        Fn(Data[I - 1]);
+      if (C == 0)
+        return;
+      --C;
+      Tail = ChunkSize;
+    }
   }
 
   /// Keeps only the entries for which \p Pred returns true, preserving
@@ -89,17 +183,63 @@ public:
       if (Pred(Entry))
         continue;
       if (Kept != I)
-        (*this)[Kept] = Entry;
+        (*this)[Kept] = std::move(Entry);
       ++Kept;
     }
     std::size_t Removed = Count - Kept;
+    if constexpr (!ReuseByAssign) {
+      for (std::size_t I = Kept; I < Count; ++I)
+        (*this)[I].~T();
+      Constructed = Kept;
+    }
     Count = Kept;
+    resetTailTo(Kept);
     return Removed;
   }
 
 private:
-  std::vector<std::unique_ptr<T[]>> Chunks;
+  OTM_NOINLINE void grow() {
+    if (Chunks.empty()) {
+      Chunks.push_back(std::allocator<T>().allocate(ChunkSize));
+      ActiveChunk = 0;
+    } else {
+      ++ActiveChunk;
+      if (ActiveChunk == Chunks.size())
+        Chunks.push_back(std::allocator<T>().allocate(ChunkSize));
+    }
+    Cur = Chunks[ActiveChunk];
+    End = Cur + ChunkSize;
+  }
+
+  /// Repositions Cur/End after an out-of-line shrink (removeIf).
+  void resetTailTo(std::size_t NewCount) {
+    if (Chunks.empty())
+      return;
+    ActiveChunk = NewCount / ChunkSize;
+    std::size_t Offset = NewCount % ChunkSize;
+    if (Offset == 0 && ActiveChunk > 0) {
+      // Park the tail at the end of the last full chunk; the next append
+      // grows into the following (already allocated) chunk.
+      --ActiveChunk;
+      Offset = ChunkSize;
+    }
+    Cur = Chunks[ActiveChunk] + Offset;
+    End = Chunks[ActiveChunk] + ChunkSize;
+  }
+
+  void destroyAll() {
+    if constexpr (!ReuseByAssign) {
+      forEach([](T &Entry) { Entry.~T(); });
+      Constructed = 0;
+    }
+  }
+
+  std::vector<T *> Chunks;   ///< Stable chunk storage; never relocated.
+  T *Cur = nullptr;          ///< Next free slot in the active chunk.
+  T *End = nullptr;          ///< One past the active chunk's storage.
+  std::size_t ActiveChunk = 0;
   std::size_t Count = 0;
+  std::size_t Constructed = 0; ///< Prefix of slots holding live objects.
 };
 
 } // namespace otm

@@ -20,11 +20,29 @@
 #define OTM_UNLIKELY(x) __builtin_expect(!!(x), 0)
 #define OTM_NOINLINE __attribute__((noinline))
 #define OTM_ALWAYS_INLINE inline __attribute__((always_inline))
+/// Read-prefetch with high temporal locality (validation scans issue this
+/// one entry ahead so the next STM word is in cache when compared).
+#define OTM_PREFETCH(addr) __builtin_prefetch((addr), 0, 3)
 #else
 #define OTM_LIKELY(x) (x)
 #define OTM_UNLIKELY(x) (x)
 #define OTM_NOINLINE
 #define OTM_ALWAYS_INLINE inline
+#define OTM_PREFETCH(addr) ((void)0)
+#endif
+
+/// True under ThreadSanitizer. TSan does not model standalone
+/// atomic_thread_fence, so fence-synchronized fast paths keep a
+/// sequentially-consistent-atomic twin for instrumented builds.
+#if defined(__SANITIZE_THREAD__)
+#define OTM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define OTM_TSAN 1
+#endif
+#endif
+#ifndef OTM_TSAN
+#define OTM_TSAN 0
 #endif
 
 namespace otm {

@@ -87,6 +87,8 @@ private:
 /// treated as unknown and outwaited like backoff.
 class GreedyCm final : public ContentionManager {
 public:
+  GreedyCm() : ContentionManager(/*NeedsStamp=*/true) {}
+
   CmPolicy kind() const override { return CmPolicy::TimestampGreedy; }
   const char *name() const override { return "greedy"; }
 
@@ -106,31 +108,21 @@ public:
     return true;
   }
 
-  bool needsArrivalStamp() const override { return true; }
-
 private:
   static constexpr unsigned PatienceFactor = 8;
 };
 
+// Singleton instances behind the inline managerFor table. Namespace-scope
+// (not function-local statics) so the table lookup carries no init guard.
+const PassiveCm PassiveInst;
+const BackoffCm BackoffInst;
+const KarmaCm KarmaInst;
+const GreedyCm GreedyInst;
+
 } // namespace
 
-const ContentionManager &otm::txn::managerFor(CmPolicy P) {
-  static const PassiveCm Passive;
-  static const BackoffCm Backoff;
-  static const KarmaCm Karma;
-  static const GreedyCm Greedy;
-  switch (P) {
-  case CmPolicy::Passive:
-    return Passive;
-  case CmPolicy::Backoff:
-    return Backoff;
-  case CmPolicy::Karma:
-    return Karma;
-  case CmPolicy::TimestampGreedy:
-    return Greedy;
-  }
-  return Backoff;
-}
+const ContentionManager *const otm::txn::detail::CmTable[NumCmPolicies] = {
+    &PassiveInst, &BackoffInst, &KarmaInst, &GreedyInst};
 
 const char *otm::txn::policyName(CmPolicy P) {
   return managerFor(P).name();

@@ -104,6 +104,11 @@ class ContentionManager {
 public:
   virtual ~ContentionManager() = default;
 
+  /// True when the policy needs a global arrival stamp per transaction.
+  /// A plain flag (not a virtual) because the retry layer asks once per
+  /// transaction, on the hot path.
+  bool needsArrivalStamp() const { return NeedsStamp; }
+
   virtual CmPolicy kind() const = 0;
   virtual const char *name() const = 0;
 
@@ -118,12 +123,24 @@ public:
   /// Returns true if the policy actually paused (for statistics).
   virtual bool pauseAfterAbort(unsigned Attempts, Backoff &B) const = 0;
 
-  /// True when the policy needs a global arrival stamp per transaction.
-  virtual bool needsArrivalStamp() const { return false; }
+protected:
+  explicit ContentionManager(bool NeedsStamp = false)
+      : NeedsStamp(NeedsStamp) {}
+
+private:
+  const bool NeedsStamp;
 };
 
-/// The process-wide singleton implementing \p P.
-const ContentionManager &managerFor(CmPolicy P);
+namespace detail {
+/// Singleton table indexed by CmPolicy (defined in ContentionManager.cpp).
+extern const ContentionManager *const CmTable[NumCmPolicies];
+} // namespace detail
+
+/// The process-wide singleton implementing \p P. Inline (one indexed load):
+/// the retry layer resolves the policy at every top-level transaction.
+inline const ContentionManager &managerFor(CmPolicy P) {
+  return *detail::CmTable[static_cast<unsigned>(P)];
+}
 
 /// Short lowercase name ("passive", "backoff", "karma", "greedy").
 const char *policyName(CmPolicy P);

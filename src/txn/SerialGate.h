@@ -31,6 +31,8 @@
 #ifndef OTM_TXN_SERIALGATE_H
 #define OTM_TXN_SERIALGATE_H
 
+#include "support/Compiler.h"
+
 #include <atomic>
 #include <cstdint>
 
@@ -51,6 +53,33 @@ public:
   /// leaked, mirroring the TxManager lifetime rules).
   Slot &slotForCurrentThread();
 
+  /// First half of enterShared for callers that share one seq_cst fence
+  /// across several per-attempt publications (RetryController also
+  /// publishes the epoch pin under the same fence). Only this thread
+  /// writes its slot, so the depth bump itself can be relaxed; the
+  /// caller's fence pairs it against the owner's flag-publish + slot-scan
+  /// (Dekker).
+  void publishShared(Slot &S) {
+    S.Active.store(S.Active.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+  }
+
+  /// Second half: call after the fence. Returns true when no serial owner
+  /// holds the gate and the attempt may proceed; otherwise steps the slot
+  /// back out and returns false — the caller should waitWhileExclusive()
+  /// and re-publish.
+  bool confirmShared(Slot &S) {
+    if (OTM_LIKELY(!Exclusive.load(std::memory_order_relaxed)))
+      return true;
+    S.Active.store(S.Active.load(std::memory_order_relaxed) - 1,
+                   std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Blocks while a serial owner holds the gate (cold path of
+  /// confirmShared; also usable directly).
+  void waitWhileExclusive();
+
   /// Marks an attempt in flight on \p S, stalling first while a serial
   /// owner holds the gate. Returns true if it had to stall (statistics).
   /// Nested use on one thread (an outer object-STM transaction driving an
@@ -58,16 +87,11 @@ public:
   bool enterShared(Slot &S) {
     bool Stalled = false;
     for (;;) {
-      // Only this thread writes its slot; the seq_cst fence pairs the
-      // store against the owner's flag-publish + slot-scan (Dekker).
-      S.Active.store(S.Active.load(std::memory_order_relaxed) + 1,
-                     std::memory_order_relaxed);
+      publishShared(S);
       std::atomic_thread_fence(std::memory_order_seq_cst);
-      if (!Exclusive.load(std::memory_order_relaxed))
+      if (confirmShared(S))
         return Stalled;
-      // A serial owner is (or just went) active: step back out and wait.
-      S.Active.store(S.Active.load(std::memory_order_relaxed) - 1,
-                     std::memory_order_relaxed);
+      // A serial owner is (or just went) active: wait it out.
       Stalled = true;
       waitWhileExclusive();
     }
@@ -95,7 +119,6 @@ public:
 
 private:
   SerialGate() = default;
-  void waitWhileExclusive();
 
   std::atomic<bool> Exclusive{false};
 };

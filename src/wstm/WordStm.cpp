@@ -14,13 +14,13 @@
 using namespace otm;
 using namespace otm::wstm;
 
-WTxManager &WTxManager::current() {
+constinit thread_local WTxManager *otm::wstm::detail::CurrentWTxPtr = nullptr;
+
+WTxManager &WTxManager::currentSlow() {
   // Leaked per-thread descriptor (same rationale as stm::TxManager).
-  static thread_local WTxManager *Tx = nullptr;
-  if (OTM_UNLIKELY(!Tx)) {
-    Tx = new WTxManager();
-    Tx->Obs.attachThread();
-  }
+  WTxManager *Tx = new WTxManager();
+  Tx->Obs.attachThread();
+  detail::CurrentWTxPtr = Tx;
   return *Tx;
 }
 
@@ -192,5 +192,5 @@ void WTxManager::finish() {
   Allocs.clear();
   LockOrder.clear();
   Depth = 0;
-  gc::EpochManager::global().unpin();
+  EPin.unpin();
 }

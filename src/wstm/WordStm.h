@@ -48,10 +48,23 @@ template <typename T> using WCell = stm::Field<T>;
 /// Thrown on conflict; caught by WordStm::atomic.
 struct WAbort {};
 
+class WTxManager;
+
+namespace detail {
+/// The calling thread's descriptor, or nullptr before its first
+/// transaction (same constinit-TLS fast path as stm::detail::CurrentTxPtr).
+extern constinit thread_local WTxManager *CurrentWTxPtr;
+} // namespace detail
+
 /// Per-thread word-STM transaction descriptor.
 class WTxManager {
 public:
-  static WTxManager &current();
+  static WTxManager &current() {
+    WTxManager *Tx = detail::CurrentWTxPtr;
+    if (OTM_UNLIKELY(!Tx))
+      return currentSlow();
+    return *Tx;
+  }
 
   /// Global version clock shared by all word-STM transactions.
   static std::atomic<uint64_t> &clock();
@@ -63,7 +76,7 @@ public:
     }
     ActiveConfig = stm::TxManager::config();
     ReadVersion = clock().load(std::memory_order_acquire);
-    gc::EpochManager::global().pin();
+    EPin.pin(); // nested under RetryController's pre-pin on executor paths
     ++Stats.Starts;
     Obs.onBegin(obs::AuxWordStm);
   }
@@ -113,6 +126,7 @@ public:
     Allocs.emplaceBack(static_cast<void *>(Obj),
                        +[](void *P) { delete static_cast<T *>(P); },
                        /*FreeOnCommit=*/true);
+    ++Stats.Retires;
   }
 
   bool tryCommit();
@@ -139,6 +153,9 @@ public:
 
 private:
   WTxManager() = default;
+
+  /// Creates and registers this thread's descriptor (first use only).
+  static WTxManager &currentSlow();
 
   /// Owner site encoded in a locked stripe word, or 0 when unlocked.
   static uint32_t ownerSiteOf(uint64_t LockWord) {
@@ -193,6 +210,9 @@ private:
   stm::TxStats Stats;
   obs::TxObs Obs;
   txn::CmTxState CmState;
+
+  /// Cached per-thread pin handle (same rationale as stm::TxManager).
+  gc::EpochManager::ThreadPin EPin = gc::EpochManager::global().threadPin();
 };
 
 /// Binds txn::RetryExecutor to the word STM: WAbort is the abort protocol,

@@ -8,9 +8,12 @@
 #include "support/ChunkedVector.h"
 #include "support/Random.h"
 #include "support/ThreadBarrier.h"
+#include "support/TxPool.h"
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
@@ -130,6 +133,151 @@ TEST(ChunkedVector, RemoveIfNothingMatches) {
     V.emplaceBack(I);
   EXPECT_EQ(V.removeIf([](int) { return false; }), 0u);
   EXPECT_EQ(V.size(), 5u);
+}
+
+TEST(ChunkedVector, MoveOnlyElements) {
+  // Storage is raw memory: move-only types need only a matching
+  // emplaceBack constructor (this type takes the destructor path, not
+  // reuse-by-assignment).
+  ChunkedVector<std::unique_ptr<int>, 4> V;
+  for (int I = 0; I < 10; ++I)
+    V.emplaceBack(std::make_unique<int>(I));
+  int Sum = 0;
+  V.forEach([&](std::unique_ptr<int> &P) { Sum += *P; });
+  EXPECT_EQ(Sum, 45);
+  V.popBack();
+  EXPECT_EQ(V.size(), 9u);
+  V.clear();
+  EXPECT_TRUE(V.empty());
+  V.emplaceBack(std::make_unique<int>(7));
+  EXPECT_EQ(*V[0], 7);
+}
+
+namespace {
+struct NoDefault {
+  explicit NoDefault(int X) : X(X) {}
+  int X;
+};
+} // namespace
+
+TEST(ChunkedVector, NonDefaultConstructibleElements) {
+  // NoDefault is trivially destructible + move-assignable, so clear() keeps
+  // slots constructed and the second fill takes the reuse-by-assignment
+  // path over them.
+  ChunkedVector<NoDefault, 4> V;
+  for (int I = 0; I < 9; ++I)
+    V.emplaceBack(I);
+  V.clear();
+  for (int I = 0; I < 6; ++I)
+    V.emplaceBack(10 + I);
+  ASSERT_EQ(V.size(), 6u);
+  for (int I = 0; I < 6; ++I)
+    EXPECT_EQ(V[I].X, 10 + I);
+}
+
+TEST(ChunkedVector, AddressesStableAcrossTailGrowth) {
+  // Every returned slot pointer must survive later appends (the STM word
+  // points straight at update-log entries), including across the chunk
+  // boundaries where the tail pointers are re-seated.
+  ChunkedVector<int, 4> V;
+  std::vector<int *> Slots;
+  for (int I = 0; I < 29; ++I)
+    Slots.push_back(V.emplaceBack(I));
+  for (int I = 0; I < 29; ++I) {
+    EXPECT_EQ(Slots[I], &V[I]);
+    EXPECT_EQ(*Slots[I], I);
+  }
+}
+
+TEST(ChunkedVector, ForEachExactCountAfterClearAndReuse) {
+  // After clear()+reuse the chunk-wise walks must visit exactly size()
+  // entries: stale constructed slots past the logical tail stay invisible.
+  ChunkedVector<int, 4> V;
+  for (int I = 0; I < 11; ++I) // 2.75 chunks
+    V.emplaceBack(I);
+  V.clear();
+  for (int I = 0; I < 5; ++I)
+    V.emplaceBack(100 + I);
+  std::size_t Visited = 0;
+  V.forEach([&](int X) {
+    EXPECT_EQ(X, 100 + static_cast<int>(Visited));
+    ++Visited;
+  });
+  EXPECT_EQ(Visited, 5u);
+  std::size_t ChunkTotal = 0;
+  V.forEachChunkArray([&](int *, std::size_t N) { ChunkTotal += N; });
+  EXPECT_EQ(ChunkTotal, 5u);
+  std::size_t Reversed = 0;
+  V.forEachReverse([&](int X) {
+    ++Reversed;
+    EXPECT_EQ(X, 105 - static_cast<int>(Reversed));
+  });
+  EXPECT_EQ(Reversed, 5u);
+}
+
+TEST(ChunkedVector, PopBackAcrossChunkBoundary) {
+  ChunkedVector<int, 4> V;
+  for (int I = 0; I < 5; ++I) // one full chunk + one entry
+    V.emplaceBack(I);
+  V.popBack();
+  EXPECT_EQ(V.size(), 4u);
+  EXPECT_EQ(V.back(), 3);
+  V.popBack(); // back into the first chunk
+  EXPECT_EQ(V.back(), 2);
+  int *Slot = V.emplaceBack(42); // refill the vacated slot
+  EXPECT_EQ(*Slot, 42);
+  EXPECT_EQ(V.size(), 4u);
+}
+
+TEST(TxPool, RecyclesSameThreadFrees) {
+  auto &Pool = support::TxPool::threadPool();
+  uint64_t HitsBefore = Pool.statsForTesting().FreeListHits;
+  void *A = support::TxPool::allocate(48);
+  support::TxPool::deallocate(A);
+  void *B = support::TxPool::allocate(48);
+  EXPECT_EQ(A, B); // LIFO free list returns the block just freed
+  EXPECT_GT(Pool.statsForTesting().FreeListHits, HitsBefore);
+  support::TxPool::deallocate(B);
+}
+
+TEST(TxPool, CrossThreadFreeDrainsBackToOwner) {
+  auto &Pool = support::TxPool::threadPool();
+  void *P = support::TxPool::allocate(64);
+  uint64_t RemoteBefore = Pool.remoteFreesForTesting();
+  std::thread([P] { support::TxPool::deallocate(P); }).join();
+  EXPECT_EQ(Pool.remoteFreesForTesting(), RemoteBefore + 1);
+  // Exhaust the local free list; the drain must eventually hand the
+  // remotely freed block back to this thread.
+  std::vector<void *> Held;
+  bool Recycled = false;
+  for (int I = 0; I < 1000 && !Recycled; ++I) {
+    void *Q = support::TxPool::allocate(64);
+    Recycled = (Q == P);
+    Held.push_back(Q);
+  }
+  EXPECT_TRUE(Recycled);
+  for (void *Q : Held)
+    support::TxPool::deallocate(Q);
+}
+
+TEST(TxPool, OversizeFallsThroughToOperatorNew) {
+  // Requests beyond the largest size class take the null-owner header path
+  // (the same path OTM_POOL=0 routes everything through).
+  EXPECT_GE(support::TxPool::classFor(4096), support::TxPool::numClasses());
+  void *P = support::TxPool::allocate(4096);
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0xab, 4096); // must really own the bytes
+  support::TxPool::deallocate(P);
+}
+
+TEST(TxPool, ClassForMatchesClassSize) {
+  for (unsigned C = 0; C < support::TxPool::numClasses(); ++C) {
+    std::size_t Size = support::TxPool::classSize(C);
+    EXPECT_EQ(support::TxPool::classFor(Size), C);
+    if (Size > 1)
+      EXPECT_LE(support::TxPool::classFor(Size - 1), C);
+    EXPECT_EQ(support::TxPool::classFor(Size + 1), C + 1);
+  }
 }
 
 TEST(Backoff, RoundsEscalate) {
