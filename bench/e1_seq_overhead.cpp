@@ -19,8 +19,12 @@
 #include "containers/RBTree.h"
 #include "containers/SkipList.h"
 #include "containers/SortedList.h"
+#include "interp/Interp.h"
+#include "passes/Pipeline.h"
 #include "support/Random.h"
 #include "sync/HandOverHandList.h"
+#include "tmir/Parser.h"
+#include "tmir/Verifier.h"
 
 #include <cstdio>
 #include <string>
@@ -138,6 +142,134 @@ template <typename Policy> double kernelSkipList() {
   }) / SkipOps * 1e9;
 }
 
+// --- Interpreter dispatch floor -----------------------------------------
+//
+// The TMIR interpreter is the "compiled program" of experiments E5/E6/E8,
+// so its dispatch cost is part of every measured barrier overhead. Two
+// kernels pin it down:
+//
+//   interp-floor    straight-line arithmetic loop, no barriers — pure
+//                   decode-execute cost per executed instruction, for both
+//                   dispatch loops;
+//   interp-counter  one-field atomic counter — the atomic-region overhead
+//                   factor (atomic ns/op over ignore-atomic ns/op).
+//
+// Timing uses a benchmark-sized argument; the count columns re-run at a
+// small fixed argument so the JSON rows stay deterministic for
+// scripts/bench_diff.py regardless of host and smoke mode.
+
+const char *const FloorSrc = R"(
+func main(n: i64): i64 {
+  var i: i64
+  var acc: i64
+entry:
+  storelocal i, 0
+  storelocal acc, 1
+  br loop
+loop:
+  %i = loadlocal i
+  %n = loadlocal n
+  %done = cmpge %i, %n
+  condbr %done, exit, body
+body:
+  %a = loadlocal acc
+  %m = mul %a, 31
+  %x = xor %m, %i
+  %s = shr %x, 3
+  %d = and %s, 1023
+  %u = add %x, %d
+  %v = sub %u, %i
+  %w = or %v, 1
+  storelocal acc, %w
+  %i2 = add %i, 1
+  storelocal i, %i2
+  br loop
+exit:
+  %r = loadlocal acc
+  ret %r
+}
+)";
+
+const char *const CounterSrc = R"(
+class Counter { val: i64 }
+
+func main(n: i64): i64 {
+  var i: i64
+entry:
+  %c = newobj Counter
+  storelocal i, 0
+  br loop
+loop:
+  %i = loadlocal i
+  %n = loadlocal n
+  %done = cmpge %i, %n
+  condbr %done, exit, body
+body:
+  atomic_begin
+  %v = getfield %c, Counter.val
+  %v2 = add %v, 1
+  setfield %c, Counter.val, %v2
+  atomic_end
+  %i2 = add %i, 1
+  storelocal i, %i2
+  br loop
+exit:
+  %r = getfield %c, Counter.val
+  ret %r
+}
+)";
+
+struct InterpRow {
+  std::string Label;
+  double NsPerOp = 0;      ///< timing (ns per instr for floor, per op else)
+  uint64_t Instrs = 0;     ///< deterministic, from the fixed-arg run
+  uint64_t Opens = 0;      ///< deterministic, from the fixed-arg run
+  long long Result = 0;    ///< deterministic, from the fixed-arg run
+};
+
+InterpRow runInterp(const char *Src, std::string Label,
+                    interp::Interpreter::TxMode Mode,
+                    interp::Interpreter::Dispatch Loop,
+                    const passes::OptConfig &Config, long long CountArg,
+                    long long TimeArg, bool PerInstr) {
+  using interp::Interpreter;
+  auto MakeInterp = [&](tmir::Module &M) {
+    tmir::verifyModuleOrDie(M);
+    passes::lowerAndOptimize(M, Config);
+    Interpreter::Options O;
+    O.Mode = Mode;
+    O.Loop = Loop;
+    return Interpreter(M, O);
+  };
+
+  InterpRow Row;
+  Row.Label = std::move(Label);
+  {
+    // Deterministic count columns at a fixed size.
+    tmir::Module M = tmir::parseModuleOrDie(Src);
+    Interpreter I = MakeInterp(M);
+    Interpreter::RunResult R = I.run("main", {CountArg});
+    if (R.Trapped) {
+      std::fprintf(stderr, "e1: %s trapped: %s\n", Row.Label.c_str(),
+                   R.Error.c_str());
+      std::exit(1);
+    }
+    Row.Result = R.Value;
+    Row.Instrs = I.counts().Instrs.load();
+    Row.Opens = I.counts().OpenRead.load() + I.counts().OpenUpdate.load();
+  }
+  {
+    // Timing at benchmark size.
+    tmir::Module M = tmir::parseModuleOrDie(Src);
+    Interpreter I = MakeInterp(M);
+    double Seconds = timeIt([&] { I.run("main", {TimeArg}); });
+    double Den = PerInstr ? double(I.counts().Instrs.load())
+                          : double(TimeArg);
+    Row.NsPerOp = Seconds / Den * 1e9;
+  }
+  return Row;
+}
+
 struct Row {
   const char *Kernel;
   double Seq, Coarse, Word, Naive, Opt;
@@ -190,6 +322,55 @@ int main() {
   printHeaderRule();
   std::printf("expected shape: naive >> opt > coarse ~ seq; opt recovers "
               "most of the naive overhead\n");
+
+  using interp::Interpreter;
+  using passes::OptConfig;
+  const long long FloorCountArg = 10000, FloorTimeArg = scaled(2000000, 20000);
+  const long long CtrCountArg = 2000, CtrTimeArg = scaled(300000, 5000);
+  InterpRow InterpRows[] = {
+      runInterp(FloorSrc, "interp-floor/threaded",
+                Interpreter::TxMode::IgnoreAtomic,
+                Interpreter::Dispatch::Threaded, OptConfig::none(),
+                FloorCountArg, FloorTimeArg, /*PerInstr=*/true),
+      runInterp(FloorSrc, "interp-floor/switch",
+                Interpreter::TxMode::IgnoreAtomic,
+                Interpreter::Dispatch::Switch, OptConfig::none(),
+                FloorCountArg, FloorTimeArg, /*PerInstr=*/true),
+      runInterp(CounterSrc, "interp-counter/ignore-atomic",
+                Interpreter::TxMode::IgnoreAtomic,
+                Interpreter::Dispatch::Auto, OptConfig::none(), CtrCountArg,
+                CtrTimeArg, /*PerInstr=*/false),
+      runInterp(CounterSrc, "interp-counter/obj-stm-naive",
+                Interpreter::TxMode::ObjStm, Interpreter::Dispatch::Auto,
+                OptConfig::none(), CtrCountArg, CtrTimeArg,
+                /*PerInstr=*/false),
+      runInterp(CounterSrc, "interp-counter/obj-stm-opt",
+                Interpreter::TxMode::ObjStm, Interpreter::Dispatch::Auto,
+                OptConfig::all(), CtrCountArg, CtrTimeArg,
+                /*PerInstr=*/false),
+  };
+
+  std::printf("\nTMIR interpreter dispatch floor (floor rows: ns/instr; "
+              "counter rows: ns/op)%s\n",
+              Interpreter::threadedDispatchAvailable()
+                  ? ""
+                  : " [threaded dispatch not compiled in: both floor rows "
+                    "ran the switch loop]");
+  printHeaderRule();
+  for (const InterpRow &R : InterpRows) {
+    std::printf("%-28s %9.2f\n", R.Label.c_str(), R.NsPerOp);
+    obs::JsonValue Run = obs::JsonValue::object();
+    Run.set("label", R.Label);
+    Run.set("ns_per_op", R.NsPerOp);
+    Run.set("instrs", R.Instrs);
+    Run.set("opens", R.Opens);
+    Run.set("result", int64_t(R.Result));
+    Report.addRun(std::move(Run));
+  }
+  std::printf("atomic-region overhead factor (obj-stm-naive / "
+              "ignore-atomic): %.2fx; optimized: %.2fx\n",
+              InterpRows[3].NsPerOp / InterpRows[2].NsPerOp,
+              InterpRows[4].NsPerOp / InterpRows[2].NsPerOp);
   Report.write();
   return 0;
 }

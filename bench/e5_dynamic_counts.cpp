@@ -43,6 +43,9 @@ struct RunSample {
   unsigned long long ReadsFiltered = 0;
   unsigned long long UndoAppends = 0;
   unsigned long long UndosFiltered = 0;
+  /// Full interpreter dynamic-counter snapshot (deterministic; diffed by
+  /// scripts/bench_diff.py against bench/baselines).
+  DynCounts::Delta Dyn;
 };
 
 RunSample runOne(const TmirProgram &P, const OptConfig &Config,
@@ -71,6 +74,13 @@ RunSample runOne(const TmirProgram &P, const OptConfig &Config,
   RunSample Sample;
   Sample.Result = R.Value;
   Sample.Opens = I.counts().OpenRead.load() + I.counts().OpenUpdate.load();
+  DynCounts &C = I.counts();
+  Sample.Dyn = {C.Instrs.load(),      C.OpenRead.load(),
+                C.OpenUpdate.load(),  C.UndoField.load(),
+                C.UndoElem.load(),    C.FieldReads.load(),
+                C.FieldWrites.load(), C.Calls.load(),
+                C.TxStarted.load(),   C.TxCommitted.load(),
+                C.TxRetried.load()};
   Sample.ReadAppends = S.ReadLogAppends;
   Sample.ReadsFiltered = S.ReadsFiltered;
   Sample.UndoAppends = S.UndoLogAppends;
@@ -120,6 +130,18 @@ int main() {
       Run.set("undo_appends", uint64_t(Row.S->UndoAppends));
       Run.set("undos_filtered", uint64_t(Row.S->UndosFiltered));
       Run.set("result", int64_t(Row.S->Result));
+      const DynCounts::Delta &Dyn = Row.S->Dyn;
+      Run.set("instrs", Dyn.Instrs);
+      Run.set("open_read", Dyn.OpenRead);
+      Run.set("open_update", Dyn.OpenUpdate);
+      Run.set("undo_field", Dyn.UndoField);
+      Run.set("undo_elem", Dyn.UndoElem);
+      Run.set("field_reads", Dyn.FieldReads);
+      Run.set("field_writes", Dyn.FieldWrites);
+      Run.set("calls", Dyn.Calls);
+      Run.set("tx_started", Dyn.TxStarted);
+      Run.set("tx_committed", Dyn.TxCommitted);
+      Run.set("tx_retried", Dyn.TxRetried);
       Report.addRun(std::move(Run));
     }
     if (Naive.Result != Opt.Result || Naive.Result != NoFilter.Result) {

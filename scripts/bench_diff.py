@@ -33,7 +33,8 @@ SCHEMA = "otm-bench-stats-v1"
 # Per-row fields that scale with wall time or the harness's adaptive
 # iteration count; everything else in a run row is a deterministic count
 # (or a checksum-style "result" that must match exactly).
-TIMING_FIELDS = {"cpu_time_ns", "real_time_ns", "seconds", "iterations"}
+TIMING_FIELDS = {"cpu_time_ns", "real_time_ns", "seconds", "iterations",
+                 "ns_per_op", "ops_per_sec"}
 
 
 def load(path):

@@ -1,0 +1,158 @@
+//===- interp/Bytecode.h - Decoded TMIR execution format -------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dense, pre-resolved form the interpreter executes. The decoder
+/// (Decoder.h) flattens a tmir::Function into one contiguous DInstr array:
+///
+///   - every operand is a *slot index* into the frame's unified slot file
+///     (registers, then locals, then immediate constants), so the engine
+///     never switches on tmir::Value::kind() at run time;
+///   - branch targets are flat instruction indices;
+///   - barrier instructions are specialized per TxMode at decode time (the
+///     "needs-open" flag): under IgnoreAtomic/GlobalLock they decode to
+///     count-only opcodes that never touch the STM;
+///   - each `atomic_begin` carries the list of slots live across its
+///     region, so a retry snapshot copies that window instead of the whole
+///     frame.
+///
+/// The decoded form is engine-independent: the computed-goto threaded loop
+/// and the portable switch loop (Interp.cpp) execute the same DInstr
+/// stream, which is what makes them differential-testable against each
+/// other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_INTERP_BYTECODE_H
+#define OTM_INTERP_BYTECODE_H
+
+#include "tmir/IR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace otm {
+namespace interp {
+
+/// Decoded opcodes. One DInstr per source tmir::Instr (the mapping is 1:1
+/// so dynamic instruction counts match the tree-walking semantics exactly);
+/// specialization happens in the opcode, not in runtime flag checks.
+enum class DOp : uint8_t {
+  Mov, ///< also LoadLocal/StoreLocal: slots are unified
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+  NewObj,
+  NewArr,
+  GetField,
+  SetField,
+  ArrLen,
+  ArrGet,
+  ArrSet,
+  Call,
+  Print,
+  // Region markers, specialized per TxMode at decode time.
+  AtomicNop,       ///< IgnoreAtomic: begin/end are pure instruction counts
+  AtomicBeginLock, ///< GlobalLock: take the global recursive mutex
+  AtomicEndLock,
+  AtomicBeginStm, ///< ObjStm: snapshot + TxManager::begin
+  AtomicEndStm,
+  // Barriers under ObjStm: talk to the TxManager.
+  OpenRead,
+  OpenUpdate,
+  UndoField,
+  UndoElem,
+  // Barriers under IgnoreAtomic/GlobalLock: bump the dynamic counter only.
+  OpenReadCnt,
+  OpenUpdateCnt,
+  UndoFieldCnt,
+  UndoElemCnt,
+  Jump,
+  Branch,
+  Ret,
+};
+
+constexpr unsigned NumDOps = static_cast<unsigned>(DOp::Ret) + 1;
+
+/// Sentinel for "no slot" (Call with no result).
+constexpr uint32_t NoSlot = 0xffffffffu;
+/// Sentinel for "no class check" (GetField/SetField with ClassId < 0).
+constexpr uint32_t NoClass = 0xffffffffu;
+
+/// One decoded instruction. Field meaning by opcode:
+///
+///   Mov               Dst <- A
+///   arith/cmp         Dst <- A op B
+///   NewObj            Dst <- new C (class id)
+///   NewArr            Dst <- new array of length slot A
+///   GetField          Dst <- slot A object, field Aux, class check C
+///   SetField          slot A object, field Aux, value slot B, check C
+///   ArrLen            Dst <- length of array slot A
+///   ArrGet            Dst <- array slot A, index slot B
+///   ArrSet            array slot A, index slot B, value slot C
+///   Call              callee C, args Pool[A .. A+B), result Dst (or NoSlot)
+///   Print             value slot A
+///   AtomicBeginStm    live-slot window Pool[A .. A+B)
+///   OpenRead/Update   object slot A
+///   UndoField         object slot A, field Aux
+///   UndoElem          object slot A, index slot B
+///   Jump              target pc B
+///   Branch            cond slot A, true pc B, false pc C
+///   Ret               value slot A
+struct DInstr {
+  DOp Op = DOp::Mov;
+  uint16_t Aux = 0; ///< field index where applicable
+  uint32_t Dst = NoSlot;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+};
+
+/// One function, decoded. Immutable after decode; shared read-only by every
+/// thread running the interpreter.
+struct DecodedFunction {
+  const tmir::Function *Src = nullptr;
+
+  uint32_t NumRegs = 0;
+  uint32_t NumLocals = 0;
+  uint32_t LocalBase = 0; ///< == NumRegs
+  uint32_t ConstBase = 0; ///< == NumRegs + NumLocals
+  uint32_t NumSlots = 0;  ///< regs + locals + constants
+
+  std::vector<DInstr> Code;
+  /// Constant values, copied into slots [ConstBase, NumSlots) at frame
+  /// entry and never written afterwards.
+  std::vector<int64_t> Consts;
+  /// Shared index pool: call argument slot lists and atomic-region
+  /// live-slot windows, referenced by (offset, count) pairs in DInstr.
+  std::vector<uint32_t> Pool;
+  /// RefSlot[i]: slot i holds a reference (GC must trace it). Constants
+  /// are never references (the only ref constant is null == 0).
+  std::vector<bool> RefSlot;
+};
+
+/// A whole module decoded for one TxMode, indexed by function id.
+struct DecodedModule {
+  std::vector<DecodedFunction> Funcs;
+};
+
+} // namespace interp
+} // namespace otm
+
+#endif // OTM_INTERP_BYTECODE_H

@@ -1,0 +1,41 @@
+//===- interp/Decoder.h - TMIR -> bytecode decoder -------------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-pass decoder from tmir::IR to the dense execution format in
+/// Bytecode.h. Runs once per (module, TxMode) at Interpreter construction;
+/// the decoded form is immutable afterwards and shared by all threads.
+///
+/// Decode-time work the tree-walking interpreter used to repeat on every
+/// executed instruction:
+///   - operand classification (register / immediate / null) becomes slot
+///     index resolution, with immediates interned into a per-function
+///     constant area of the slot file;
+///   - branch targets become flat instruction indices;
+///   - the TxMode dispatch inside region markers and barriers becomes
+///     opcode specialization ("needs-open" decided per mode, once);
+///   - per-`atomic_begin` live-slot windows (tmir::Liveness) shrink retry
+///     snapshots from whole-frame copies to the live window.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_INTERP_DECODER_H
+#define OTM_INTERP_DECODER_H
+
+#include "interp/Bytecode.h"
+#include "interp/Interp.h"
+
+namespace otm {
+namespace interp {
+
+/// Decodes every function of \p M for execution under \p Mode. \p M must
+/// be verified (register types filled in) before decoding.
+DecodedModule decodeModule(const tmir::Module &M, Interpreter::TxMode Mode);
+
+} // namespace interp
+} // namespace otm
+
+#endif // OTM_INTERP_DECODER_H

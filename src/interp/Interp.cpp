@@ -3,22 +3,70 @@
 // Part of the otm project, under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Execution engine over the decoded bytecode (Bytecode.h / Decoder.h). The
+// per-instruction work the old tree-walker repeated — operand kind
+// switches, TxMode tests, field-index lookups — happens once at decode; at
+// run time each handler is a few loads/stores on the frame's slot file.
+//
+// Two loops execute the same DInstr stream: a computed-goto direct-
+// threaded loop (GCC/Clang; compiled out with -DOTM_INTERP_THREADED=0) and
+// a portable switch loop. Both are generated from InterpDispatch.inc so
+// their semantics cannot drift; tests/InterpDifferentialTest.cpp runs
+// every benchmark program through both and compares results, prints and
+// dynamic counts.
+//
+//===----------------------------------------------------------------------===//
 
 #include "interp/Interp.h"
 
+#include "interp/Decoder.h"
 #include "obs/TraceRing.h"
 #include "stm/Stm.h"
 #include "support/Compiler.h"
 #include "tmir/Verifier.h"
 #include "txn/RetryExecutor.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <optional>
+
+// The direct-threaded loop needs GNU computed goto; default it on for the
+// compilers that have it, off elsewhere. Build with -DOTM_INTERP_THREADED=0
+// to force the portable switch loop only.
+#ifndef OTM_INTERP_THREADED
+#if defined(__GNUC__) || defined(__clang__)
+#define OTM_INTERP_THREADED 1
+#else
+#define OTM_INTERP_THREADED 0
+#endif
+#endif
 
 using namespace otm;
 using namespace otm::interp;
 using namespace otm::tmir;
+
+// The decoder maps these blocks between the two opcode enums by offset;
+// pin the anchors of each contiguous run it relies on.
+static_assert(static_cast<unsigned>(Opcode::CmpGe) -
+                      static_cast<unsigned>(Opcode::Add) ==
+                  static_cast<unsigned>(DOp::CmpGe) -
+                      static_cast<unsigned>(DOp::Add),
+              "arith/compare blocks of Opcode and DOp must stay parallel");
+// The threaded loop's label table lists DOp values in declaration order;
+// pin the anchors so a reordering shows up as a compile error, not a
+// misdispatch.
+static_assert(static_cast<unsigned>(DOp::Mov) == 0 &&
+                  static_cast<unsigned>(DOp::CmpGe) == 16 &&
+                  static_cast<unsigned>(DOp::Call) == 24 &&
+                  static_cast<unsigned>(DOp::AtomicBeginStm) == 29 &&
+                  static_cast<unsigned>(DOp::OpenReadCnt) == 35 &&
+                  static_cast<unsigned>(DOp::Ret) == 41 && NumDOps == 42,
+              "DOp order changed: update the Labels table in "
+              "InterpDispatch.inc to match");
 
 namespace {
 
@@ -38,18 +86,30 @@ thread_local int GlobalLockDepth = 0;
 thread_local int CallDepth = 0;
 constexpr int MaxCallDepth = 2048;
 
+/// Monotone work counter for karma accrual (same measure as Stm::atomic).
+uint64_t txOpCount(stm::TxManager &Tx) {
+  const stm::TxStats &S = Tx.stats();
+  return S.OpensForRead + S.OpensForUpdate + S.UndoLogAppends;
+}
+
 } // namespace
 
 struct Interpreter::Frame {
-  Function *F = nullptr;
-  std::vector<int64_t> Regs;
-  std::vector<int64_t> Locals;
+  const DecodedFunction *DF = nullptr;
+  /// Unified slot file: [registers | locals | constants].
+  std::vector<int64_t> Slots;
   bool OwnsTx = false;
   bool HasSnapshot = false;
-  int SnapBlock = 0;
-  std::size_t SnapIdx = 0;
-  std::vector<int64_t> SnapRegs;
-  std::vector<int64_t> SnapLocals;
+  /// Forced-abort cycles already taken for the current region
+  /// (Options::ForceRetries testing hook).
+  uint32_t ForcedRetries = 0;
+  /// Retry snapshot: flat pc of the owning atomic_begin plus the values of
+  /// its live-slot window (slot indices are Pool[SnapPoolOff ..
+  /// SnapPoolOff+SnapCount) of the decoded function).
+  uint32_t SnapPc = 0;
+  uint32_t SnapPoolOff = 0;
+  uint32_t SnapCount = 0;
+  std::vector<int64_t> SnapVals;
   /// Retry sequencing for the atomic region this frame owns. Lives across
   /// snapshot-restart retries of one region; unwinding the frame on a trap
   /// releases any serial-gate state through the controller's destructor.
@@ -75,8 +135,29 @@ public:
 } // namespace interp
 } // namespace otm
 
+bool Interpreter::threadedDispatchAvailable() {
+  return OTM_INTERP_THREADED != 0;
+}
+
 Interpreter::Interpreter(Module &M, Options Opts) : M(M), Opts(Opts) {
-  verifyModuleOrDie(M); // fills RegTypes, required for GC root scanning
+  verifyModuleOrDie(M); // fills RegTypes, required for decode + GC scanning
+  DM = decodeModule(M, Opts.Mode);
+
+  if (threadedDispatchAvailable()) {
+    switch (Opts.Loop) {
+    case Dispatch::Threaded:
+      UseThreaded = true;
+      break;
+    case Dispatch::Switch:
+      UseThreaded = false;
+      break;
+    case Dispatch::Auto: {
+      const char *Env = std::getenv("OTM_INTERP_DISPATCH");
+      UseThreaded = !(Env && std::strcmp(Env, "switch") == 0);
+      break;
+    }
+    }
+  }
 }
 
 HeapObject *Interpreter::makeObject(const std::string &ClassName) {
@@ -95,20 +176,20 @@ void Interpreter::collectGarbage() {
   OTM_TRACE_EVENT(Ring, obs::EventKind::GcBegin, nullptr, 0);
   TheHeap.collect([&](auto Mark) {
     for (Frame *Fr : TlFrames) {
-      Function &F = *Fr->F;
-      for (int R = 0; R < F.numRegs(); ++R)
-        if (F.RegTypes[R].isRef() && Fr->Regs[R])
-          Mark(HeapObject::fromBits(Fr->Regs[R]));
-      for (std::size_t L = 0; L < F.Locals.size(); ++L)
-        if (F.Locals[L].Ty.isRef() && Fr->Locals[L])
-          Mark(HeapObject::fromBits(Fr->Locals[L]));
+      const DecodedFunction &DF = *Fr->DF;
+      // Every reference-typed register/local slot of a live frame is a
+      // root — including currently-dead ones, which may hold pointers from
+      // earlier in the frame. Keeping those alive is what makes the
+      // narrowed retry snapshots safe: a restored dead slot can never
+      // resurrect a swept object.
+      for (uint32_t Sl = 0; Sl < DF.ConstBase; ++Sl)
+        if (DF.RefSlot[Sl] && Fr->Slots[Sl])
+          Mark(HeapObject::fromBits(Fr->Slots[Sl]));
       if (Fr->HasSnapshot) {
-        for (int R = 0; R < F.numRegs(); ++R)
-          if (F.RegTypes[R].isRef() && Fr->SnapRegs[R])
-            Mark(HeapObject::fromBits(Fr->SnapRegs[R]));
-        for (std::size_t L = 0; L < F.Locals.size(); ++L)
-          if (F.Locals[L].Ty.isRef() && Fr->SnapLocals[L])
-            Mark(HeapObject::fromBits(Fr->SnapLocals[L]));
+        const uint32_t *Window = DF.Pool.data() + Fr->SnapPoolOff;
+        for (uint32_t K = 0; K < Fr->SnapCount; ++K)
+          if (DF.RefSlot[Window[K]] && Fr->SnapVals[K])
+            Mark(HeapObject::fromBits(Fr->SnapVals[K]));
       }
     }
     if (Tx.inTx()) {
@@ -139,8 +220,18 @@ Interpreter::RunResult Interpreter::run(const std::string &Name,
     Result.Error = "argument count mismatch calling " + Name;
     return Result;
   }
+  const DecodedFunction *DF = nullptr;
+  for (std::size_t Idx = 0; Idx < M.Functions.size(); ++Idx)
+    if (M.Functions[Idx].get() == F) {
+      DF = &DM.Funcs[Idx];
+      break;
+    }
+  assert(DF && "function present in module but not in decoded module");
+
+  Counts.ActiveRuns.fetch_add(1, std::memory_order_relaxed);
+  DynCounts::Delta D;
   try {
-    Result.Value = execFunction(*F, Args);
+    Result.Value = execFunction(*DF, Args.data(), Args.size(), D);
   } catch (const TrapError &T) {
     Result.Trapped = true;
     Result.Error = T.Msg;
@@ -153,358 +244,86 @@ Interpreter::RunResult Interpreter::run(const std::string &Name,
       --GlobalLockDepth;
     }
   }
+  // One flush of the per-run counters into the process-wide atomics.
+  Counts.add(D);
+  Counts.ActiveRuns.fetch_sub(1, std::memory_order_relaxed);
   return Result;
 }
 
-int64_t Interpreter::execFunction(Function &F,
-                                  const std::vector<int64_t> &Args) {
-  if (++CallDepth > MaxCallDepth) {
+uint32_t Interpreter::failedAttemptResume(Frame &Fr, DynCounts::Delta &D) {
+  const DecodedFunction &DF = *Fr.DF;
+  const uint32_t *Window = DF.Pool.data() + Fr.SnapPoolOff;
+  for (uint32_t K = 0; K < Fr.SnapCount; ++K)
+    Fr.Slots[Window[K]] = Fr.SnapVals[K];
+  Fr.OwnsTx = false;
+  ++D.TxRetried;
+  Fr.Ctl->afterAbort(txOpCount(stm::TxManager::current()));
+  return Fr.SnapPc;
+}
+
+int64_t Interpreter::execFunction(const DecodedFunction &DF,
+                                  const int64_t *Args, std::size_t NumArgs,
+                                  DynCounts::Delta &D) {
+  if (OTM_UNLIKELY(++CallDepth > MaxCallDepth)) {
     --CallDepth;
-    trap("call depth limit exceeded in " + F.Name);
+    trap("call depth limit exceeded in " + DF.Src->Name);
   }
-
-  Frame Fr;
-  Fr.F = &F;
-  Fr.Regs.assign(F.numRegs(), 0);
-  Fr.Locals.assign(F.Locals.size(), 0);
-  for (std::size_t A = 0; A < Args.size(); ++A)
-    Fr.Locals[A] = Args[A];
-  FrameScope Scope(Fr);
-
-  stm::TxManager &Tx = stm::TxManager::current();
-
-  // Monotone work counter for karma accrual (same measure as Stm::atomic).
-  auto TxOpCount = [&]() -> uint64_t {
-    const stm::TxStats &S = Tx.stats();
-    return S.OpensForRead + S.OpensForUpdate + S.UndoLogAppends;
-  };
-
-  auto Val = [&](const Value &V) -> int64_t {
-    switch (V.kind()) {
-    case Value::Kind::Reg:
-      return Fr.Regs[V.regId()];
-    case Value::Kind::Imm:
-      return V.immValue();
-    case Value::Kind::Null:
-      return 0;
-    case Value::Kind::None:
-      break;
-    }
-    trap("malformed operand");
-  };
-
-  auto RefVal = [&](const Value &V) -> HeapObject * {
-    return HeapObject::fromBits(Val(V));
-  };
-
-  auto ObjectOperand = [&](const Value &V, int ClassId) -> HeapObject * {
-    HeapObject *Obj = RefVal(V);
-    if (!Obj)
-      trap("null reference in " + F.Name);
-    if (Obj->isArray() || (ClassId >= 0 && Obj->Class != &M.Classes[ClassId]))
-      trap("reference has wrong class in " + F.Name);
-    return Obj;
-  };
-
-  auto ArrayOperand = [&](const Value &V) -> HeapObject * {
-    HeapObject *Obj = RefVal(V);
-    if (!Obj)
-      trap("null array reference in " + F.Name);
-    if (!Obj->isArray())
-      trap("reference is not an array in " + F.Name);
-    return Obj;
-  };
-
-  auto SaveSnapshot = [&](int Block, std::size_t Idx) {
-    Fr.HasSnapshot = true;
-    Fr.SnapBlock = Block;
-    Fr.SnapIdx = Idx;
-    Fr.SnapRegs = Fr.Regs;
-    Fr.SnapLocals = Fr.Locals;
-  };
-
-  int Block = 0;
-  std::size_t Idx = 0;
-  uint64_t InstrsSinceValidate = 0;
-
-  auto RestoreSnapshot = [&]() {
-    Fr.Regs = Fr.SnapRegs;
-    Fr.Locals = Fr.SnapLocals;
-    Block = Fr.SnapBlock;
-    Idx = Fr.SnapIdx;
-    Fr.OwnsTx = false;
-    Counts.TxRetried.fetch_add(1, std::memory_order_relaxed);
-  };
-
   struct DepthGuard {
     ~DepthGuard() { --CallDepth; }
   } Guard;
 
+  Frame Fr;
+  Fr.DF = &DF;
+  Fr.Slots.assign(DF.NumSlots, 0);
+  std::copy(DF.Consts.begin(), DF.Consts.end(),
+            Fr.Slots.begin() + DF.ConstBase);
+  for (std::size_t A = 0; A < NumArgs; ++A)
+    Fr.Slots[DF.LocalBase + A] = Args[A];
+  FrameScope Scope(Fr);
+
+  const uint64_t Reload =
+      Opts.Mode == TxMode::ObjStm && Opts.ValidateEveryNInstrs
+          ? Opts.ValidateEveryNInstrs
+          : ~uint64_t(0);
+
+  uint32_t Pc = 0;
   for (;;) {
-    BasicBlock &BB = *F.Blocks[Block];
-    assert(Idx < BB.Instrs.size() && "ran off the end of a block");
-    Instr &I = BB.Instrs[Idx];
-    Counts.Instrs.fetch_add(1, std::memory_order_relaxed);
-
     try {
-      // Bound zombie execution: a doomed transaction may loop on stale
-      // pointers; periodic validation aborts it.
-      if (Opts.Mode == TxMode::ObjStm && Opts.ValidateEveryNInstrs &&
-          ++InstrsSinceValidate >= Opts.ValidateEveryNInstrs) {
-        InstrsSinceValidate = 0;
-        if (Tx.inTx())
-          Tx.validateOrAbort();
-      }
-
-      switch (I.Op) {
-      case Opcode::Mov:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]);
-        break;
-      case Opcode::Add:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) + Val(I.Operands[1]);
-        break;
-      case Opcode::Sub:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) - Val(I.Operands[1]);
-        break;
-      case Opcode::Mul:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) * Val(I.Operands[1]);
-        break;
-      case Opcode::Div: {
-        int64_t D = Val(I.Operands[1]);
-        if (D == 0)
-          trap("division by zero in " + F.Name);
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) / D;
-        break;
-      }
-      case Opcode::Rem: {
-        int64_t D = Val(I.Operands[1]);
-        if (D == 0)
-          trap("remainder by zero in " + F.Name);
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) % D;
-        break;
-      }
-      case Opcode::And:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) & Val(I.Operands[1]);
-        break;
-      case Opcode::Or:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) | Val(I.Operands[1]);
-        break;
-      case Opcode::Xor:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) ^ Val(I.Operands[1]);
-        break;
-      case Opcode::Shl:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0])
-                               << (Val(I.Operands[1]) & 63);
-        break;
-      case Opcode::Shr:
-        Fr.Regs[I.ResultReg] = static_cast<int64_t>(
-            static_cast<uint64_t>(Val(I.Operands[0])) >>
-            (Val(I.Operands[1]) & 63));
-        break;
-      case Opcode::CmpEq:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) == Val(I.Operands[1]);
-        break;
-      case Opcode::CmpNe:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) != Val(I.Operands[1]);
-        break;
-      case Opcode::CmpLt:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) < Val(I.Operands[1]);
-        break;
-      case Opcode::CmpLe:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) <= Val(I.Operands[1]);
-        break;
-      case Opcode::CmpGt:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) > Val(I.Operands[1]);
-        break;
-      case Opcode::CmpGe:
-        Fr.Regs[I.ResultReg] = Val(I.Operands[0]) >= Val(I.Operands[1]);
-        break;
-      case Opcode::LoadLocal:
-        Fr.Regs[I.ResultReg] = Fr.Locals[I.LocalIdx];
-        break;
-      case Opcode::StoreLocal:
-        Fr.Locals[I.LocalIdx] = Val(I.Operands[0]);
-        break;
-      case Opcode::NewObj: {
-        if (Opts.GcEveryNAllocs &&
-            TheHeap.allocsSinceGc() >= Opts.GcEveryNAllocs)
-          collectGarbage();
-        HeapObject *Obj = TheHeap.allocObject(&M.Classes[I.ClassId]);
-        Fr.Regs[I.ResultReg] = HeapObject::toBits(Obj);
-        break;
-      }
-      case Opcode::NewArr: {
-        int64_t Len = Val(I.Operands[0]);
-        if (Len < 0 || Len > (int64_t(1) << 30))
-          trap("bad array length in " + F.Name);
-        if (Opts.GcEveryNAllocs &&
-            TheHeap.allocsSinceGc() >= Opts.GcEveryNAllocs)
-          collectGarbage();
-        Fr.Regs[I.ResultReg] = HeapObject::toBits(
-            TheHeap.allocArray(static_cast<std::size_t>(Len)));
-        break;
-      }
-      case Opcode::GetField: {
-        HeapObject *Obj = ObjectOperand(I.Operands[0], I.ClassId);
-        Counts.FieldReads.fetch_add(1, std::memory_order_relaxed);
-        Fr.Regs[I.ResultReg] = Obj->Slots[I.FieldIdx].load();
-        break;
-      }
-      case Opcode::SetField: {
-        HeapObject *Obj = ObjectOperand(I.Operands[0], I.ClassId);
-        Counts.FieldWrites.fetch_add(1, std::memory_order_relaxed);
-        Obj->Slots[I.FieldIdx].store(Val(I.Operands[1]));
-        break;
-      }
-      case Opcode::ArrLen: {
-        HeapObject *Arr = ArrayOperand(I.Operands[0]);
-        Counts.FieldReads.fetch_add(1, std::memory_order_relaxed);
-        Fr.Regs[I.ResultReg] = static_cast<int64_t>(Arr->slotCount());
-        break;
-      }
-      case Opcode::ArrGet: {
-        HeapObject *Arr = ArrayOperand(I.Operands[0]);
-        int64_t Index = Val(I.Operands[1]);
-        if (Index < 0 || static_cast<std::size_t>(Index) >= Arr->slotCount())
-          trap("array index out of bounds in " + F.Name);
-        Counts.FieldReads.fetch_add(1, std::memory_order_relaxed);
-        Fr.Regs[I.ResultReg] = Arr->Slots[Index].load();
-        break;
-      }
-      case Opcode::ArrSet: {
-        HeapObject *Arr = ArrayOperand(I.Operands[0]);
-        int64_t Index = Val(I.Operands[1]);
-        if (Index < 0 || static_cast<std::size_t>(Index) >= Arr->slotCount())
-          trap("array index out of bounds in " + F.Name);
-        Counts.FieldWrites.fetch_add(1, std::memory_order_relaxed);
-        Arr->Slots[Index].store(Val(I.Operands[2]));
-        break;
-      }
-      case Opcode::Call: {
-        std::vector<int64_t> CallArgs;
-        CallArgs.reserve(I.Operands.size());
-        for (const Value &V : I.Operands)
-          CallArgs.push_back(Val(V));
-        Counts.Calls.fetch_add(1, std::memory_order_relaxed);
-        int64_t R = execFunction(*M.Functions[I.CalleeIdx], CallArgs);
-        if (I.ResultReg >= 0)
-          Fr.Regs[I.ResultReg] = R;
-        break;
-      }
-      case Opcode::Print: {
-        int64_t V = Val(I.Operands[0]);
-        if (Opts.CapturePrints) {
-          std::lock_guard<std::mutex> Lock(PrintMutex);
-          Printed.push_back(V);
-        } else {
-          std::printf("%lld\n", static_cast<long long>(V));
-        }
-        break;
-      }
-      case Opcode::AtomicBegin:
-        switch (Opts.Mode) {
-        case TxMode::IgnoreAtomic:
-          break;
-        case TxMode::GlobalLock:
-          globalTxMutex().lock();
-          ++GlobalLockDepth;
-          break;
-        case TxMode::ObjStm:
-          if (!Tx.inTx()) {
-            SaveSnapshot(Block, Idx);
-            Fr.OwnsTx = true;
-            // First attempt of a new top-level region constructs the retry
-            // controller; snapshot restarts reuse it (attempt count and
-            // karma persist across the attempts of one transaction).
-            if (!Fr.Ctl)
-              Fr.Ctl.emplace(
-                  txn::managerFor(stm::TxManager::config().ContentionPolicy),
-                  Tx.cmState(), stm::TxManager::config().SerialFallbackAfter,
-                  reinterpret_cast<uintptr_t>(&Fr) * 0x9e3779b97f4a7c15ULL);
-            Fr.Ctl->beforeAttempt(TxOpCount());
-          }
-          Tx.begin();
-          Counts.TxStarted.fetch_add(1, std::memory_order_relaxed);
-          break;
-        }
-        break;
-      case Opcode::AtomicEnd:
-        switch (Opts.Mode) {
-        case TxMode::IgnoreAtomic:
-          break;
-        case TxMode::GlobalLock:
-          globalTxMutex().unlock();
-          --GlobalLockDepth;
-          break;
-        case TxMode::ObjStm:
-          if (Fr.OwnsTx && Tx.nestingDepth() == 1) {
-            if (!Tx.tryCommit()) {
-              RestoreSnapshot();
-              Fr.Ctl->afterAbort(TxOpCount());
-              continue; // resume from atomic_begin
-            }
-            Fr.OwnsTx = false;
-            Fr.HasSnapshot = false;
-            Counts.TxCommitted.fetch_add(1, std::memory_order_relaxed);
-            Fr.Ctl->onFinished();
-            Fr.Ctl.reset();
-          } else {
-            Tx.tryCommit(); // nested level: always succeeds
-          }
-          break;
-        }
-        break;
-      case Opcode::OpenForRead: {
-        Counts.OpenRead.fetch_add(1, std::memory_order_relaxed);
-        if (Opts.Mode == TxMode::ObjStm && Tx.inTx())
-          if (HeapObject *Obj = RefVal(I.Operands[0]))
-            Tx.openForRead(Obj);
-        break;
-      }
-      case Opcode::OpenForUpdate: {
-        Counts.OpenUpdate.fetch_add(1, std::memory_order_relaxed);
-        if (Opts.Mode == TxMode::ObjStm && Tx.inTx())
-          if (HeapObject *Obj = RefVal(I.Operands[0]))
-            Tx.openForUpdate(Obj);
-        break;
-      }
-      case Opcode::LogUndoField: {
-        Counts.UndoField.fetch_add(1, std::memory_order_relaxed);
-        if (Opts.Mode == TxMode::ObjStm && Tx.inTx())
-          if (HeapObject *Obj = RefVal(I.Operands[0]))
-            Tx.logUndo(&Obj->Slots[I.FieldIdx]);
-        break;
-      }
-      case Opcode::LogUndoElem: {
-        Counts.UndoElem.fetch_add(1, std::memory_order_relaxed);
-        if (Opts.Mode == TxMode::ObjStm && Tx.inTx())
-          if (HeapObject *Obj = RefVal(I.Operands[0])) {
-            int64_t Index = Val(I.Operands[1]);
-            if (Index >= 0 &&
-                static_cast<std::size_t>(Index) < Obj->slotCount())
-              Tx.logUndo(&Obj->Slots[Index]);
-          }
-        break;
-      }
-      case Opcode::Br:
-        Block = I.TargetA;
-        Idx = 0;
-        continue;
-      case Opcode::CondBr:
-        Block = Val(I.Operands[0]) ? I.TargetA : I.TargetB;
-        Idx = 0;
-        continue;
-      case Opcode::Ret:
-        return I.Operands.empty() ? 0 : Val(I.Operands[0]);
-      }
+      return UseThreaded ? execThreadedLoop(Fr, Pc, D, Reload)
+                         : execSwitchLoop(Fr, Pc, D, Reload);
     } catch (const stm::AbortTx &Reason) {
       if (!Fr.OwnsTx)
         throw; // unwind to the frame that owns the transaction
-      Tx.rollbackAttempt(Reason.Why);
-      RestoreSnapshot();
-      Fr.Ctl->afterAbort(TxOpCount());
-      continue;
+      stm::TxManager::current().rollbackAttempt(Reason.Why);
+      Pc = failedAttemptResume(Fr, D); // resume from the atomic_begin
     }
-    ++Idx;
   }
 }
+
+int64_t Interpreter::execSwitchLoop(Frame &Fr, uint32_t Pc,
+                                    DynCounts::Delta &D,
+                                    uint64_t ValidateReload) {
+#define OTM_LOOP_THREADED 0
+#include "interp/InterpDispatch.inc"
+#undef OTM_LOOP_THREADED
+}
+
+#if OTM_INTERP_THREADED
+
+int64_t Interpreter::execThreadedLoop(Frame &Fr, uint32_t Pc,
+                                      DynCounts::Delta &D,
+                                      uint64_t ValidateReload) {
+#define OTM_LOOP_THREADED 1
+#include "interp/InterpDispatch.inc"
+#undef OTM_LOOP_THREADED
+}
+
+#else
+
+int64_t Interpreter::execThreadedLoop(Frame &Fr, uint32_t Pc,
+                                      DynCounts::Delta &D,
+                                      uint64_t ValidateReload) {
+  return execSwitchLoop(Fr, Pc, D, ValidateReload);
+}
+
+#endif // OTM_INTERP_THREADED

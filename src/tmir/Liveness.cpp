@@ -1,0 +1,77 @@
+//===- tmir/Liveness.cpp - Register & local liveness ----------------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tmir/Liveness.h"
+
+using namespace otm;
+using namespace otm::tmir;
+
+namespace {
+
+/// Applies one instruction's transfer function in reverse:
+/// kill the definition, then gen the uses.
+void transferBackward(const Instr &I, LiveSet &Regs, LiveSet &Locals) {
+  if (I.ResultReg >= 0)
+    Regs.clear(static_cast<std::size_t>(I.ResultReg));
+  if (I.Op == Opcode::StoreLocal)
+    Locals.clear(static_cast<std::size_t>(I.LocalIdx));
+  for (const Value &V : I.Operands)
+    if (V.isReg())
+      Regs.set(static_cast<std::size_t>(V.regId()));
+  if (I.Op == Opcode::LoadLocal)
+    Locals.set(static_cast<std::size_t>(I.LocalIdx));
+}
+
+} // namespace
+
+LivenessInfo tmir::computeLiveness(const Function &F) {
+  std::size_t N = F.Blocks.size();
+  std::size_t NumRegs = static_cast<std::size_t>(F.numRegs());
+  std::size_t NumLocals = F.Locals.size();
+
+  LivenessInfo LI;
+  LI.RegIn.assign(N, LiveSet(NumRegs));
+  LI.RegOut.assign(N, LiveSet(NumRegs));
+  LI.LocalIn.assign(N, LiveSet(NumLocals));
+  LI.LocalOut.assign(N, LiveSet(NumLocals));
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (std::size_t BI = N; BI > 0; --BI) {
+      std::size_t B = BI - 1;
+      // OUT = union of successor INs (may-analysis).
+      LiveSet RegOut(NumRegs), LocalOut(NumLocals);
+      for (int S : F.Blocks[B]->successors()) {
+        RegOut.unionWith(LI.RegIn[S]);
+        LocalOut.unionWith(LI.LocalIn[S]);
+      }
+      LiveSet Regs = RegOut, Locals = LocalOut;
+      const std::vector<Instr> &Instrs = F.Blocks[B]->Instrs;
+      for (std::size_t I = Instrs.size(); I > 0; --I)
+        transferBackward(Instrs[I - 1], Regs, Locals);
+      if (!(RegOut == LI.RegOut[B]) || !(LocalOut == LI.LocalOut[B]) ||
+          !(Regs == LI.RegIn[B]) || !(Locals == LI.LocalIn[B])) {
+        LI.RegOut[B] = std::move(RegOut);
+        LI.LocalOut[B] = std::move(LocalOut);
+        LI.RegIn[B] = std::move(Regs);
+        LI.LocalIn[B] = std::move(Locals);
+        Changed = true;
+      }
+    }
+  }
+  return LI;
+}
+
+void tmir::liveBeforeInstr(const Function &F, const LivenessInfo &LI,
+                           int Block, std::size_t InstrIdx, LiveSet &Regs,
+                           LiveSet &Locals) {
+  Regs = LI.RegOut[Block];
+  Locals = LI.LocalOut[Block];
+  const std::vector<Instr> &Instrs = F.Blocks[Block]->Instrs;
+  for (std::size_t I = Instrs.size(); I > InstrIdx; --I)
+    transferBackward(Instrs[I - 1], Regs, Locals);
+}

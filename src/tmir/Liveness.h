@@ -1,0 +1,79 @@
+//===- tmir/Liveness.h - Register & local liveness -------------*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward liveness over a TMIR function's virtual registers and local
+/// slots. A slot is *live* at a program point when some path from that
+/// point reads it before writing it.
+///
+/// The interpreter's decoder uses this to narrow atomic-region snapshots:
+/// when an `atomic_begin` re-executes after an abort, only the registers
+/// and locals live at that point can ever be read again before being
+/// redefined, so only those need to be saved and restored. Everything else
+/// — including heap state, which the STM's undo log rolls back — is out of
+/// scope here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_TMIR_LIVENESS_H
+#define OTM_TMIR_LIVENESS_H
+
+#include "tmir/IR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace otm {
+namespace tmir {
+
+/// A fixed-capacity bitset over slot indices (registers or locals).
+class LiveSet {
+public:
+  LiveSet() = default;
+  explicit LiveSet(std::size_t Bits) : Words((Bits + 63) / 64, 0) {}
+
+  void set(std::size_t I) { Words[I / 64] |= uint64_t(1) << (I % 64); }
+  void clear(std::size_t I) { Words[I / 64] &= ~(uint64_t(1) << (I % 64)); }
+  bool test(std::size_t I) const {
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  /// Union-into; returns true when this set grew.
+  bool unionWith(const LiveSet &O) {
+    bool Grew = false;
+    for (std::size_t W = 0; W < Words.size(); ++W) {
+      uint64_t New = Words[W] | O.Words[W];
+      Grew |= New != Words[W];
+      Words[W] = New;
+    }
+    return Grew;
+  }
+
+  bool operator==(const LiveSet &O) const { return Words == O.Words; }
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+/// Per-block live-in/live-out sets for registers and locals.
+struct LivenessInfo {
+  std::vector<LiveSet> RegIn, RegOut;
+  std::vector<LiveSet> LocalIn, LocalOut;
+};
+
+/// Runs the backward fixpoint over \p F's CFG.
+LivenessInfo computeLiveness(const Function &F);
+
+/// The registers/locals live immediately *before* instruction
+/// (\p Block, \p InstrIdx) — i.e. the state a restart at that instruction
+/// may still read. Derived from \p LI by walking block \p Block backwards.
+void liveBeforeInstr(const Function &F, const LivenessInfo &LI, int Block,
+                     std::size_t InstrIdx, LiveSet &Regs, LiveSet &Locals);
+
+} // namespace tmir
+} // namespace otm
+
+#endif // OTM_TMIR_LIVENESS_H
