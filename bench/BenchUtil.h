@@ -16,6 +16,7 @@
 
 #include "obs/StatsReporter.h"
 #include "obs/Statistic.h"
+#include "obs/Telemetry.h"
 #include "obs/TraceRing.h"
 #include "obs/TxObs.h"
 #include "stm/StatsJson.h"
@@ -140,13 +141,33 @@ public:
   void write() {
     stm::TxManager::current().flushStats();
     wstm::WTxManager::current().flushStats();
-    Reporter.addSection("stm", stm::statsToJson(stm::Stm::globalStats()));
+    stm::TxStats Global = stm::Stm::globalStats();
+    Reporter.addSection("stm", stm::statsToJson(Global));
+    Reporter.addSection("phases", stm::phaseBreakdownToJson(Global));
     Reporter.addSection("abort_sites", stm::abortSitesToJson());
     Reporter.addSection("pass_stats", obs::Statistic::allToJson());
     obs::JsonValue Cm = txn::cmStatsToJson(txn::CmStats::instance().snapshot());
     Cm.set("policy",
            txn::policyName(stm::TxManager::config().ContentionPolicy));
     Reporter.addSection("txn_cm", std::move(Cm));
+    obs::JsonValue Tele = obs::JsonValue::object();
+    Tele.set("enabled", obs::Telemetry::instance().running());
+    Tele.set("interval_ms",
+             static_cast<uint64_t>(obs::Telemetry::instance().intervalMs()));
+    Tele.set("samples", obs::Telemetry::instance().samplesEmitted());
+    Reporter.addSection("telemetry", std::move(Tele));
+    // Optional conflict-graph dump for graphviz (dot -Tsvg): the edge table
+    // is cumulative across the binary's whole run.
+    if (const char *Dot = std::getenv("OTM_CONFLICT_DOT"); Dot && Dot[0] == '1') {
+      std::string DotPath = obs::StatsReporter::outputPath(
+          "BENCH_" + FileStem + ".conflicts.dot");
+      if (FILE *F = std::fopen(DotPath.c_str(), "w")) {
+        std::string G = obs::AbortSites::instance().dotGraph();
+        std::fwrite(G.data(), 1, G.size(), F);
+        std::fclose(F);
+        std::printf("[stats] wrote %s\n", DotPath.c_str());
+      }
+    }
     std::string Path =
         obs::StatsReporter::outputPath("BENCH_" + FileStem + ".json");
     if (Reporter.writeFile(Path))

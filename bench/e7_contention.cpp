@@ -106,6 +106,10 @@ void runCell(unsigned WritePercent, unsigned HotSet, BenchReport &Report,
   Run.set("aborts_on_conflict", S.AbortsOnConflict);
   Run.set("aborts_on_validation", S.AbortsOnValidation);
   Run.set("abort_percent", AbortPct);
+  // Commit-latency quantiles for THIS cell (TSC cycles, begin -> publish).
+  Run.set("commit_p50_cycles", S.CommitTscCycles.percentile(50.0));
+  Run.set("commit_p99_cycles", S.CommitTscCycles.percentile(99.0));
+  Run.set("commit_p999_cycles", S.CommitTscCycles.percentile(99.9));
   // CM decisions for THIS cell (StatsCapture resets the aggregate per cell).
   Run.set("cm_conflict_waits", Cm.ConflictWaits);
   Run.set("cm_priority_aborts", Cm.PriorityAborts);

@@ -26,6 +26,7 @@ difference, 2 on usage/schema errors.
 
 import argparse
 import json
+import re
 import sys
 
 SCHEMA = "otm-bench-stats-v1"
@@ -35,6 +36,17 @@ SCHEMA = "otm-bench-stats-v1"
 # (or a checksum-style "result" that must match exactly).
 TIMING_FIELDS = {"cpu_time_ns", "real_time_ns", "seconds", "iterations",
                  "ns_per_op", "ops_per_sec"}
+
+# Timing-like fields by shape: anything measured in cycles or nanoseconds,
+# quantiles of latency histograms (commit_p50_cycles, ...), and rates. These
+# vary with the host clock, so new rows of this shape must never trip the
+# count gate.
+TIMING_PATTERNS = re.compile(
+    r"(_cycles|_ns|_us|_ms|_per_sec|_percent)$|^(p50|p99|p999)(_|$)")
+
+
+def is_timing_field(name):
+    return name in TIMING_FIELDS or TIMING_PATTERNS.search(name) is not None
 
 
 def load(path):
@@ -54,7 +66,7 @@ def comparable_rows(doc):
     for row in doc.get("runs", []):
         label = row.get("label", "?")
         fields = {k: v for k, v in row.items()
-                  if k != "label" and k not in TIMING_FIELDS}
+                  if k != "label" and not is_timing_field(k)}
         if fields:
             yield f"runs/{label}", fields
     for row in doc.get("pass_stats", []):

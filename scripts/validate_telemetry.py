@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate an otm-telemetry-v1 JSONL stream.
+
+The telemetry sampler (OTM_TELEMETRY=<ms>, see src/obs/Telemetry.h) emits
+one JSON object per line. CI runs the bench smoke suite with the sampler on
+and feeds the resulting files through this script, which enforces the
+schema contract a downstream consumer (otm_top.py, a metrics shipper)
+relies on:
+
+  - every line parses as a JSON object with schema == "otm-telemetry-v1"
+  - the required keys are present: seq, t_us, interval_ms, totals, deltas
+  - seq is monotonically increasing from 0 (no dropped or duplicated
+    records within one file)
+  - t_us is non-decreasing
+  - every numeric leaf under deltas is >= 0 (the clamped-delta guarantee:
+    a concurrent stats reset must never produce a negative rate)
+  - the file holds at least one record (flush-on-exit guarantee)
+
+Usage:
+  validate_telemetry.py FILE.jsonl [FILE.jsonl ...]
+
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+SCHEMA = "otm-telemetry-v1"
+REQUIRED_KEYS = ("schema", "seq", "t_us", "interval_ms", "totals", "deltas")
+
+
+def check_deltas_nonnegative(node, path, errors):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            check_deltas_nonnegative(value, f"{path}.{key}", errors)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        if node < 0:
+            errors.append(f"negative delta {path} = {node}")
+
+
+def validate_file(path):
+    errors = []
+    records = 0
+    prev_seq = None
+    prev_t = None
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as err:
+                    errors.append(f"line {lineno}: not JSON: {err}")
+                    continue
+                if not isinstance(rec, dict):
+                    errors.append(f"line {lineno}: not an object")
+                    continue
+                for key in REQUIRED_KEYS:
+                    if key not in rec:
+                        errors.append(f"line {lineno}: missing key {key!r}")
+                if rec.get("schema") != SCHEMA:
+                    errors.append(f"line {lineno}: schema "
+                                  f"{rec.get('schema')!r} != {SCHEMA!r}")
+                seq = rec.get("seq")
+                if isinstance(seq, int):
+                    if prev_seq is None:
+                        if seq != 0:
+                            errors.append(f"line {lineno}: first seq is "
+                                          f"{seq}, expected 0")
+                    elif seq != prev_seq + 1:
+                        errors.append(f"line {lineno}: seq {seq} after "
+                                      f"{prev_seq} (not contiguous)")
+                    prev_seq = seq
+                t_us = rec.get("t_us")
+                if isinstance(t_us, (int, float)):
+                    if prev_t is not None and t_us < prev_t:
+                        errors.append(f"line {lineno}: t_us went backwards "
+                                      f"({prev_t} -> {t_us})")
+                    prev_t = t_us
+                check_deltas_nonnegative(rec.get("deltas", {}),
+                                         f"line {lineno}: deltas", errors)
+                records += 1
+    except OSError as err:
+        errors.append(f"cannot read: {err}")
+    if records == 0 and not errors:
+        errors.append("no records (sampler must flush at least one on exit)")
+    return records, errors
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print(__doc__.strip().splitlines()[0])
+        print("usage: validate_telemetry.py FILE.jsonl [FILE.jsonl ...]")
+        return 2
+    failed = False
+    for path in argv:
+        records, errors = validate_file(path)
+        if errors:
+            failed = True
+            print(f"validate_telemetry: {path}: INVALID "
+                  f"({records} record(s)):")
+            for e in errors[:20]:
+                print(f"  {e}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            print(f"validate_telemetry: {path}: OK ({records} record(s))")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

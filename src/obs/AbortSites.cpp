@@ -1,4 +1,4 @@
-//===- obs/AbortSites.cpp - Per-address abort attribution ------------------===//
+//===- obs/AbortSites.cpp - Abort attribution & conflict graph -------------===//
 //
 // Part of the otm project, under the MIT license.
 //
@@ -18,7 +18,9 @@ AbortSites &AbortSites::instance() {
 }
 
 void AbortSites::record(const void *Addr, AbortCause Cause,
-                        uint32_t OwnerSite) {
+                        uint32_t OwnerSite, uint32_t VictimSite) {
+  if (VictimSite)
+    recordEdge(VictimSite, OwnerSite, Cause);
   uintptr_t Key = reinterpret_cast<uintptr_t>(Addr);
   if (!Key)
     return;
@@ -47,6 +49,31 @@ void AbortSites::record(const void *Addr, AbortCause Cause,
   Dropped.fetch_add(1, std::memory_order_relaxed);
 }
 
+void AbortSites::recordEdge(uint32_t VictimSite, uint32_t OwnerSite,
+                            AbortCause Cause) {
+  uint64_t Key = (static_cast<uint64_t>(VictimSite) << 32) | OwnerSite;
+  // Mix both halves; site ids are small sequential integers.
+  std::size_t H =
+      static_cast<std::size_t>((Key * 0x2545f4914f6cdd1dULL) >> 32);
+  for (std::size_t P = 0; P < MaxEdgeProbe; ++P) {
+    EdgeSlot &S = EdgeSlots[(H + P) & (NumEdgeSlots - 1)];
+    uint64_t Cur = S.Key.load(std::memory_order_relaxed);
+    if (Cur == 0) {
+      if (!S.Key.compare_exchange_strong(Cur, Key, std::memory_order_relaxed))
+        if (Cur != Key)
+          continue;
+    } else if (Cur != Key) {
+      continue;
+    }
+    if (Cause == AbortCause::Conflict)
+      S.Conflicts.fetch_add(1, std::memory_order_relaxed);
+    else
+      S.Validations.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  EdgesDropped.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::vector<AbortSites::Site> AbortSites::topK(std::size_t K) const {
   std::vector<Site> All;
   for (const Slot &S : Slots) {
@@ -69,6 +96,44 @@ std::vector<AbortSites::Site> AbortSites::topK(std::size_t K) const {
   return All;
 }
 
+std::vector<AbortSites::Edge> AbortSites::topEdges(std::size_t K) const {
+  std::vector<Edge> All;
+  for (const EdgeSlot &S : EdgeSlots) {
+    uint64_t Key = S.Key.load(std::memory_order_relaxed);
+    if (!Key)
+      continue;
+    Edge Out;
+    Out.Victim = static_cast<uint32_t>(Key >> 32);
+    Out.Owner = static_cast<uint32_t>(Key);
+    Out.Conflicts = S.Conflicts.load(std::memory_order_relaxed);
+    Out.Validations = S.Validations.load(std::memory_order_relaxed);
+    if (Out.total())
+      All.push_back(Out);
+  }
+  std::sort(All.begin(), All.end(), [](const Edge &A, const Edge &B) {
+    return A.total() > B.total();
+  });
+  if (All.size() > K)
+    All.resize(K);
+  return All;
+}
+
+std::size_t AbortSites::siteOccupancy() const {
+  std::size_t N = 0;
+  for (const Slot &S : Slots)
+    if (S.Addr.load(std::memory_order_relaxed))
+      ++N;
+  return N;
+}
+
+std::size_t AbortSites::edgeOccupancy() const {
+  std::size_t N = 0;
+  for (const EdgeSlot &S : EdgeSlots)
+    if (S.Key.load(std::memory_order_relaxed))
+      ++N;
+  return N;
+}
+
 void AbortSites::reset() {
   for (Slot &S : Slots) {
     S.Addr.store(0, std::memory_order_relaxed);
@@ -76,7 +141,13 @@ void AbortSites::reset() {
     S.Validations.store(0, std::memory_order_relaxed);
     S.LastOwner.store(0, std::memory_order_relaxed);
   }
+  for (EdgeSlot &S : EdgeSlots) {
+    S.Key.store(0, std::memory_order_relaxed);
+    S.Conflicts.store(0, std::memory_order_relaxed);
+    S.Validations.store(0, std::memory_order_relaxed);
+  }
   Dropped.store(0, std::memory_order_relaxed);
+  EdgesDropped.store(0, std::memory_order_relaxed);
 }
 
 JsonValue AbortSites::toJson(std::size_t K) const {
@@ -93,4 +164,40 @@ JsonValue AbortSites::toJson(std::size_t K) const {
     Arr.push(std::move(Entry));
   }
   return Arr;
+}
+
+JsonValue AbortSites::edgesToJson(std::size_t K) const {
+  JsonValue Arr = JsonValue::array();
+  for (const Edge &E : topEdges(K)) {
+    JsonValue Entry = JsonValue::object();
+    Entry.set("victim_site", static_cast<uint64_t>(E.Victim));
+    Entry.set("owner_site", static_cast<uint64_t>(E.Owner));
+    Entry.set("conflicts", E.Conflicts);
+    Entry.set("validations", E.Validations);
+    Arr.push(std::move(Entry));
+  }
+  return Arr;
+}
+
+std::string AbortSites::dotGraph(std::size_t K) const {
+  std::string Out = "digraph otm_conflicts {\n"
+                    "  rankdir=LR;\n"
+                    "  node [shape=circle fontsize=10];\n";
+  char Buf[128];
+  for (const Edge &E : topEdges(K)) {
+    // Owner 0 means the owning transaction had already released; render it
+    // as a distinct "unknown" sink so the weight is not lost.
+    if (E.Owner)
+      std::snprintf(Buf, sizeof(Buf),
+                    "  s%u -> s%u [label=\"%llu\" weight=%llu];\n", E.Victim,
+                    E.Owner, static_cast<unsigned long long>(E.total()),
+                    static_cast<unsigned long long>(E.total()));
+    else
+      std::snprintf(Buf, sizeof(Buf),
+                    "  s%u -> unknown [label=\"%llu\" style=dashed];\n",
+                    E.Victim, static_cast<unsigned long long>(E.total()));
+    Out += Buf;
+  }
+  Out += "}\n";
+  return Out;
 }

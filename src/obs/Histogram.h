@@ -75,6 +75,45 @@ public:
   }
   uint64_t bucket(unsigned B) const { return Buckets[B]; }
 
+  /// Value at percentile \p Pct (0..100), linearly interpolated inside the
+  /// power-of-two bucket that holds the target rank. Bucket 0 is exact
+  /// (only zeros land there); the bucket containing the recorded maximum is
+  /// clamped to it, so the tail bucket — whose nominal upper edge may be
+  /// 2^63 — never extrapolates past an observed value. Empty histogram
+  /// returns 0.
+  double percentile(double Pct) const {
+    if (Count == 0)
+      return 0.0;
+    if (Pct <= 0.0)
+      return static_cast<double>(minNonEmptyLowerBound());
+    if (Pct >= 100.0)
+      return static_cast<double>(Max);
+    double Rank = Pct / 100.0 * static_cast<double>(Count);
+    uint64_t Cum = 0;
+    for (unsigned B = 0; B < HistogramBuckets::Num; ++B) {
+      if (!Buckets[B])
+        continue;
+      double InBucket = static_cast<double>(Buckets[B]);
+      if (static_cast<double>(Cum) + InBucket >= Rank) {
+        if (B == 0)
+          return 0.0; // the zero bucket holds exact zeros
+        double Lo = static_cast<double>(HistogramBuckets::lowerBound(B));
+        double Hi = B + 1 < HistogramBuckets::Num
+                        ? static_cast<double>(HistogramBuckets::lowerBound(B + 1))
+                        : static_cast<double>(Max);
+        // Clamp to the observed maximum when it falls inside this bucket
+        // (always true for the highest non-empty bucket).
+        double MaxD = static_cast<double>(Max);
+        if (MaxD >= Lo && MaxD < Hi)
+          Hi = MaxD;
+        double Frac = (Rank - static_cast<double>(Cum)) / InBucket;
+        return Lo + Frac * (Hi - Lo);
+      }
+      Cum += Buckets[B];
+    }
+    return static_cast<double>(Max);
+  }
+
   /// Visits (lowerBound, count) for every non-empty bucket.
   template <typename FnType> void forEachBucket(FnType Fn) const {
     for (unsigned B = 0; B < HistogramBuckets::Num; ++B)
@@ -84,6 +123,13 @@ public:
 
 private:
   friend class AtomicHistogram; // snapshot() rebuilds a Histogram in place
+
+  uint64_t minNonEmptyLowerBound() const {
+    for (unsigned B = 0; B < HistogramBuckets::Num; ++B)
+      if (Buckets[B])
+        return HistogramBuckets::lowerBound(B);
+    return 0;
+  }
 
   uint64_t Buckets[HistogramBuckets::Num] = {};
   uint64_t Count = 0;

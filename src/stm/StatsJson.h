@@ -17,6 +17,7 @@
 
 #include "obs/AbortSites.h"
 #include "obs/Json.h"
+#include "obs/PhaseProfile.h"
 #include "stm/TxStats.h"
 
 namespace otm {
@@ -36,6 +37,32 @@ inline obs::JsonValue histogramToJson(const obs::Histogram &H) {
     Buckets.push(std::move(Pair));
   });
   V.set("buckets_pow2", std::move(Buckets));
+  // Interpolated percentiles; exact only up to bucket resolution, but the
+  // tail quantiles are what the latency studies read.
+  V.set("p50", H.percentile(50.0));
+  V.set("p99", H.percentile(99.0));
+  V.set("p999", H.percentile(99.9));
+  return V;
+}
+
+/// Per-phase {count, cycles, mean_cycles} breakdown of where transaction
+/// time went (see obs/PhaseProfile.h for the phase inventory and nesting
+/// caveats). Keys are the obs::phaseName() strings.
+inline obs::JsonValue phaseBreakdownToJson(const TxStats &S) {
+  obs::JsonValue V = obs::JsonValue::object();
+  auto Emit = [&](obs::Phase P, const obs::Histogram &H) {
+    obs::JsonValue Entry = obs::JsonValue::object();
+    Entry.set("count", H.count());
+    Entry.set("cycles", H.sum());
+    Entry.set("mean_cycles", H.mean());
+    V.set(obs::phaseName(P), std::move(Entry));
+  };
+  Emit(obs::Phase::Open, S.PhaseOpenCycles);
+  Emit(obs::Phase::Validate, S.PhaseValidateCycles);
+  Emit(obs::Phase::CommitLock, S.PhaseCommitLockCycles);
+  Emit(obs::Phase::WriteBack, S.PhaseWriteBackCycles);
+  Emit(obs::Phase::CmWait, S.PhaseCmWaitCycles);
+  Emit(obs::Phase::Backoff, S.PhaseBackoffCycles);
   return V;
 }
 
@@ -54,11 +81,20 @@ inline obs::JsonValue statsToJson(const TxStats &S) {
   return V;
 }
 
-/// Top-K abort attribution (shared by both STMs).
+/// Top-K abort attribution plus the conflict graph (shared by both STMs).
 inline obs::JsonValue abortSitesToJson(std::size_t K = 16) {
+  const obs::AbortSites &A = obs::AbortSites::instance();
   obs::JsonValue V = obs::JsonValue::object();
-  V.set("top", obs::AbortSites::instance().toJson(K));
-  V.set("dropped", obs::AbortSites::instance().dropped());
+  V.set("top", A.toJson(K));
+  V.set("dropped", A.dropped());
+  V.set("edges", A.edgesToJson(K));
+  V.set("edges_dropped", A.edgesDropped());
+  obs::JsonValue Occ = obs::JsonValue::object();
+  Occ.set("sites_used", static_cast<uint64_t>(A.siteOccupancy()));
+  Occ.set("sites_capacity", static_cast<uint64_t>(A.siteCapacity()));
+  Occ.set("edges_used", static_cast<uint64_t>(A.edgeOccupancy()));
+  Occ.set("edges_capacity", static_cast<uint64_t>(A.edgeCapacity()));
+  V.set("occupancy", std::move(Occ));
   return V;
 }
 

@@ -84,6 +84,9 @@ struct StmRetryAdapter {
     return TxManager::config().SerialFallbackAfter;
   }
   static uint64_t seedMix() { return 0x9e3779b97f4a7c15ULL; }
+  static obs::Histogram *backoffHistogram(Manager &Tx) {
+    return &Tx.stats().PhaseBackoffCycles;
+  }
 };
 
 class Stm {

@@ -8,7 +8,9 @@
 
 #include "gc/EpochManager.h"
 #include "obs/AbortSites.h"
+#include "obs/Telemetry.h"
 #include "stm/HashFilter.h"
+#include "stm/StatsJson.h"
 #include "txn/CmStats.h"
 
 #include <thread>
@@ -64,6 +66,7 @@ bool TxManager::validate() {
   // not the log, so a large read set takes a dependent cache miss per
   // entry that the prefetch overlaps with the current compare.
   bool Ok = true;
+  obs::PhaseScope Ph(Obs.Sampling, Stats.PhaseValidateCycles);
   ReadLog.forEachChunkArray([&](ReadEntry *Data, std::size_t N) {
     if (!Ok)
       return;
@@ -109,8 +112,10 @@ bool TxManager::tryCommit() {
   // Serialization point. Publish new versions; owned objects were
   // exclusively ours, so each release makes one update atomically visible.
   // Read-only transactions skip the (out-of-line) release walk entirely.
-  if (!UpdateLog.empty())
+  if (!UpdateLog.empty()) {
+    obs::PhaseScope Ph(Obs.Sampling, Stats.PhaseWriteBackCycles);
     releaseOwnershipForCommit();
+  }
   ++Stats.Commits;
   Obs.onCommit(0, Stats.CommitTscCycles, Stats.RetriesPerCommit);
 
@@ -167,6 +172,10 @@ WordValue TxManager::waitForUnowned(TxObject *Obj) {
   const unsigned BudgetRounds =
       (ActiveConfig.ConflictSpins + RoundSpins - 1) / RoundSpins;
   WordValue W = Obj->Word.load(std::memory_order_acquire);
+  // CmWait nests inside the Open scope of the barrier that called us, so
+  // PhaseOpenCycles already contains this time; the separate histogram
+  // isolates how much of the open barrier was arbitration.
+  obs::PhaseScope Ph(Obs.Sampling, Stats.PhaseCmWaitCycles);
   for (unsigned Round = 0;; ++Round) {
     if (!isOwned(W))
       return W;
@@ -191,7 +200,7 @@ WordValue TxManager::waitForUnowned(TxObject *Obj) {
   W = Obj->Word.load(std::memory_order_acquire);
   obs::AbortSites::instance().record(
       Obj, obs::AbortCause::Conflict,
-      isOwned(W) ? ownerEntry(W)->owner()->siteId() : 0);
+      isOwned(W) ? ownerEntry(W)->owner()->siteId() : 0, siteId());
   abortAndThrow(AbortTx::Cause::Conflict);
 }
 
@@ -203,7 +212,7 @@ void TxManager::recordValidationFailureSite() {
     WordValue Cur = Entry.Obj->Word.load(std::memory_order_acquire);
     obs::AbortSites::instance().record(
         Entry.Obj, obs::AbortCause::Validation,
-        isOwned(Cur) ? ownerEntry(Cur)->owner()->siteId() : 0);
+        isOwned(Cur) ? ownerEntry(Cur)->owner()->siteId() : 0, siteId());
     return; // first invalid entry is the one that doomed the attempt
   }
 }
@@ -241,3 +250,51 @@ std::pair<std::size_t, std::size_t> TxManager::compactLogsForGc() {
   });
   return {ReadsRemoved, UndosRemoved};
 }
+
+#if OTM_OBS_ENABLE
+namespace {
+
+/// Registers the stm-side telemetry sources during static initialization.
+/// obs cannot depend on stm, so the conversion from GlobalTxStats/CmStats
+/// into JsonValue trees lives here; the sampler only sees named callbacks.
+/// All sources read process-lifetime aggregates with relaxed snapshots, so
+/// they are safe from the sampler thread at any point in the run.
+struct StmTelemetrySources {
+  StmTelemetrySources() {
+    using obs::JsonValue;
+    obs::Telemetry &T = obs::Telemetry::instance();
+    T.registerSource("stm", [] {
+      TxStats S = GlobalTxStats::instance().snapshot();
+      JsonValue V = JsonValue::object();
+      S.forEachCounter(
+          [&](const char *Name, uint64_t Value) { V.set(Name, Value); });
+      // Doubles are reported in totals only; the delta pass skips them
+      // (quantiles of a cumulative histogram are not a rate).
+      JsonValue Commit = JsonValue::object();
+      Commit.set("count", S.CommitTscCycles.count());
+      Commit.set("p50_cycles", S.CommitTscCycles.percentile(50.0));
+      Commit.set("p99_cycles", S.CommitTscCycles.percentile(99.0));
+      Commit.set("p999_cycles", S.CommitTscCycles.percentile(99.9));
+      V.set("commit_latency", std::move(Commit));
+      return V;
+    });
+    T.registerSource("txn_cm", [] {
+      return txn::cmStatsToJson(txn::CmStats::instance().snapshot());
+    });
+    T.registerSource("abort_sites", [] {
+      const obs::AbortSites &A = obs::AbortSites::instance();
+      JsonValue V = JsonValue::object();
+      V.set("dropped", A.dropped());
+      V.set("edges_dropped", A.edgesDropped());
+      V.set("sites_used", static_cast<uint64_t>(A.siteOccupancy()));
+      V.set("edges_used", static_cast<uint64_t>(A.edgeOccupancy()));
+      return V;
+    });
+    T.registerSource("phases", [] {
+      return phaseBreakdownToJson(GlobalTxStats::instance().snapshot());
+    });
+  }
+} RegisterStmSources;
+
+} // namespace
+#endif // OTM_OBS_ENABLE

@@ -37,6 +37,7 @@
 #define OTM_STM_TXMANAGER_H
 
 #include "gc/EpochManager.h"
+#include "obs/PhaseProfile.h"
 #include "obs/TxObs.h"
 #include "stm/Field.h"
 #include "stm/HashFilter.h"
@@ -143,6 +144,7 @@ public:
     assert(inTx() && "openForRead outside a transaction");
     ++Stats.OpensForRead;
     OTM_TRACE_OPEN_EVENT(Obs.Ring, obs::EventKind::OpenForRead, Obj, 0);
+    OTM_PHASE_OPEN_SCOPE(Obs.Sampling, Stats.PhaseOpenCycles);
     WordValue W = Obj->Word.load(std::memory_order_acquire);
     if (OTM_UNLIKELY(isOwned(W))) {
       if (ownerEntry(W)->owner() == this)
@@ -165,6 +167,7 @@ public:
     assert(inTx() && "openForUpdate outside a transaction");
     ++Stats.OpensForUpdate;
     OTM_TRACE_OPEN_EVENT(Obs.Ring, obs::EventKind::OpenForUpdate, Obj, 0);
+    OTM_PHASE_OPEN_SCOPE(Obs.Sampling, Stats.PhaseOpenCycles);
     WordValue W = Obj->Word.load(std::memory_order_acquire);
     for (;;) {
       if (OTM_UNLIKELY(isOwned(W))) {

@@ -47,10 +47,20 @@ namespace stm {
 
 /// Power-of-two distributions sampled when obs::setSampling(true):
 /// CommitTscCycles is outermost begin() -> published commit in TSC ticks;
-/// RetriesPerCommit is aborted attempts absorbed by each commit.
+/// RetriesPerCommit is aborted attempts absorbed by each commit. The
+/// Phase*Cycles histograms record one sample per phase *episode* (one open
+/// barrier, one validation scan, one backoff pause, ...) so sum() is the
+/// total cycles that phase consumed — the per-phase breakdown of
+/// obs::Phase (see obs/PhaseProfile.h; keep the two lists in sync).
 #define OTM_TXSTAT_HISTOGRAMS(X)                                               \
   X(CommitTscCycles)                                                           \
-  X(RetriesPerCommit)
+  X(RetriesPerCommit)                                                          \
+  X(PhaseOpenCycles)       /* obs::Phase::Open */                              \
+  X(PhaseValidateCycles)   /* obs::Phase::Validate */                          \
+  X(PhaseCommitLockCycles) /* obs::Phase::CommitLock (word STM) */             \
+  X(PhaseWriteBackCycles)  /* obs::Phase::WriteBack */                         \
+  X(PhaseCmWaitCycles)     /* obs::Phase::CmWait */                            \
+  X(PhaseBackoffCycles)    /* obs::Phase::Backoff (retry layer) */
 
 /// Plain counter block (per thread; no synchronization).
 struct TxStats {

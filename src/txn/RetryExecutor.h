@@ -32,7 +32,9 @@
 #define OTM_TXN_RETRYEXECUTOR_H
 
 #include "gc/EpochManager.h"
+#include "obs/PhaseProfile.h"
 #include "obs/TraceRing.h"
+#include "obs/TxObs.h"
 #include "support/Backoff.h"
 #include "txn/CmStats.h"
 #include "txn/ContentionManager.h"
@@ -129,7 +131,15 @@ public:
       PendingSerial = true;
       return; // no pause: escalate on the next attempt
     }
-    if (CM.pauseAfterAbort(Attempts, B))
+    bool Paused;
+    {
+      // Attribute the inter-attempt pause to the Backoff phase. The scope
+      // is armed only when the client wired a histogram (setter below) and
+      // latency sampling is on, so the common path costs one null check.
+      obs::PhaseScope Ph(BackoffHist && obs::samplingEnabled(), *BackoffHist);
+      Paused = CM.pauseAfterAbort(Attempts, B);
+    }
+    if (Paused)
       CmStats::instance().bumpAttemptPauses();
   }
 
@@ -144,6 +154,11 @@ public:
 
   unsigned attempts() const { return Attempts; }
   bool inSerialMode() const { return Mode == GateMode::Exclusive; }
+
+  /// Wires the histogram that receives one sample per inter-attempt pause
+  /// (obs::Phase::Backoff). Optional; the txn layer cannot name TxStats, so
+  /// the STM-specific adapter (or the interpreter) passes its own.
+  void setBackoffHistogram(obs::Histogram *H) { BackoffHist = H; }
 
 private:
   enum class GateMode : uint8_t { Outside, Shared, Exclusive };
@@ -180,6 +195,7 @@ private:
   Backoff B;
   unsigned Attempts = 0;
   uint64_t OpAtBegin = 0;
+  obs::Histogram *BackoffHist = nullptr;
   bool PendingSerial = false;
   bool HoldsPin = false;
   GateMode Mode = GateMode::Outside;
@@ -223,6 +239,8 @@ public:
     RetryController Ctl(CM, Adapter::cmState(Tx), Adapter::fallbackAfter(),
                         reinterpret_cast<uintptr_t>(&Tx) *
                             Adapter::seedMix());
+    if constexpr (requires { Adapter::backoffHistogram(Tx); })
+      Ctl.setBackoffHistogram(Adapter::backoffHistogram(Tx));
     for (;;) {
       Ctl.beforeAttempt(Adapter::opCount(Tx));
       Adapter::begin(Tx);

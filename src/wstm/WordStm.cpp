@@ -73,53 +73,60 @@ bool WTxManager::tryCommit() {
 
   uintptr_t OwnerTag = reinterpret_cast<uintptr_t>(this) & ~uintptr_t(1);
   std::size_t Acquired = 0;
-  for (VersionedLock *Lock : LockOrder) {
-    uint64_t Saved;
-    unsigned Round = 0;
-    while (!Lock->tryLock(Saved, OwnerTag)) {
-      uint64_t W = Lock->load();
-      txn::ConflictChoice Choice = txn::ConflictChoice::Wait;
-      if (VersionedLock::isLocked(W))
-        Choice = CM.onConflict(
-            CmState,
-            reinterpret_cast<WTxManager *>(W & ~uint64_t(1))->CmState, Round,
-            BudgetRounds);
-      if (Choice == txn::ConflictChoice::Wait) {
-        if (Round++ == 0)
-          txn::CmStats::instance().bumpConflictWaits();
-        for (unsigned Spin = 0; Spin < RoundSpins - 1; ++Spin)
-          cpuRelax();
-        std::this_thread::yield();
-        continue;
+  {
+    // CommitLock covers the whole acquisition loop, stripe waits included;
+    // an abort inside the loop records the partial scope on the way out.
+    obs::PhaseScope LockPh(Obs.Sampling, Stats.PhaseCommitLockCycles);
+    for (VersionedLock *Lock : LockOrder) {
+      uint64_t Saved;
+      unsigned Round = 0;
+      while (!Lock->tryLock(Saved, OwnerTag)) {
+        uint64_t W = Lock->load();
+        txn::ConflictChoice Choice = txn::ConflictChoice::Wait;
+        if (VersionedLock::isLocked(W))
+          Choice = CM.onConflict(
+              CmState,
+              reinterpret_cast<WTxManager *>(W & ~uint64_t(1))->CmState, Round,
+              BudgetRounds);
+        if (Choice == txn::ConflictChoice::Wait) {
+          if (Round++ == 0)
+            txn::CmStats::instance().bumpConflictWaits();
+          for (unsigned Spin = 0; Spin < RoundSpins - 1; ++Spin)
+            cpuRelax();
+          std::this_thread::yield();
+          continue;
+        }
+        if (Choice == txn::ConflictChoice::AbortSelfPriority)
+          txn::CmStats::instance().bumpPriorityAborts();
+        unlockFirstN(Acquired);
+        ++Stats.AbortsOnConflict;
+        obs::AbortSites::instance().record(Lock, obs::AbortCause::Conflict,
+                                           ownerSiteOf(Lock->load()), siteId());
+        rollbackAttempt(obs::AuxCauseConflict);
+        return false;
       }
-      if (Choice == txn::ConflictChoice::AbortSelfPriority)
-        txn::CmStats::instance().bumpPriorityAborts();
-      unlockFirstN(Acquired);
-      ++Stats.AbortsOnConflict;
-      obs::AbortSites::instance().record(Lock, obs::AbortCause::Conflict,
-                                         ownerSiteOf(Lock->load()));
-      rollbackAttempt(obs::AuxCauseConflict);
-      return false;
+      // Saved is already a decoded version number (tryLock strips the lock
+      // encoding). This pre-lock check is the only witness of commits that
+      // happened to this stripe while we slept: once we own the lock, the
+      // read-set validation below exempts self-owned stripes.
+      if (Saved > ReadVersion) {
+        Lock->unlockToVersion(Saved);
+        unlockFirstN(Acquired);
+        ++Stats.AbortsOnValidation;
+        obs::AbortSites::instance().record(Lock, obs::AbortCause::Validation, 0,
+                                           siteId());
+        rollbackAttempt(obs::AuxCauseValidation);
+        return false;
+      }
+      SavedVersions.push_back(Saved);
+      ++Acquired;
     }
-    // Saved is already a decoded version number (tryLock strips the lock
-    // encoding). This pre-lock check is the only witness of commits that
-    // happened to this stripe while we slept: once we own the lock, the
-    // read-set validation below exempts self-owned stripes.
-    if (Saved > ReadVersion) {
-      Lock->unlockToVersion(Saved);
-      unlockFirstN(Acquired);
-      ++Stats.AbortsOnValidation;
-      obs::AbortSites::instance().record(Lock, obs::AbortCause::Validation, 0);
-      rollbackAttempt(obs::AuxCauseValidation);
-      return false;
-    }
-    SavedVersions.push_back(Saved);
-    ++Acquired;
   }
 
   // Phase 2: advance the clock and validate the read set.
   uint64_t WriteVersion = clock().fetch_add(1, std::memory_order_acq_rel) + 1;
   if (WriteVersion != ReadVersion + 1) { // else nothing else committed
+    obs::PhaseScope ValidatePh(Obs.Sampling, Stats.PhaseValidateCycles);
     bool Valid = true;
     VersionedLock *FirstBad = nullptr;
     uint64_t FirstBadWord = 0;
@@ -145,16 +152,19 @@ bool WTxManager::tryCommit() {
       SavedVersions.clear();
       ++Stats.AbortsOnValidation;
       obs::AbortSites::instance().record(FirstBad, obs::AbortCause::Validation,
-                                         ownerSiteOf(FirstBadWord));
+                                         ownerSiteOf(FirstBadWord), siteId());
       rollbackAttempt(obs::AuxCauseValidation);
       return false;
     }
   }
 
   // Phase 3: write back and release with the new version.
-  Writes.applyAll();
-  for (VersionedLock *Lock : LockOrder)
-    Lock->unlockToVersion(WriteVersion);
+  {
+    obs::PhaseScope WriteBackPh(Obs.Sampling, Stats.PhaseWriteBackCycles);
+    Writes.applyAll();
+    for (VersionedLock *Lock : LockOrder)
+      Lock->unlockToVersion(WriteVersion);
+  }
   SavedVersions.clear();
 
   Allocs.forEach([](AllocRecord &R) {

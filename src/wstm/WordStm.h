@@ -21,6 +21,7 @@
 
 #include "gc/EpochManager.h"
 #include "obs/AbortSites.h"
+#include "obs/PhaseProfile.h"
 #include "obs/TxObs.h"
 #include "stm/Field.h"
 #include "stm/TxStats.h"
@@ -87,6 +88,7 @@ public:
     ++Stats.OpensForRead;
     OTM_TRACE_OPEN_EVENT(Obs.Ring, obs::EventKind::OpenForRead, &Cell,
                     obs::AuxWordStm);
+    OTM_PHASE_OPEN_SCOPE(Obs.Sampling, Stats.PhaseOpenCycles);
     uint64_t Buffered;
     if (!Writes.empty() && Writes.lookup(&Cell, Buffered))
       return fromBits<T>(Buffered); // read-own-write
@@ -110,6 +112,7 @@ public:
     ++Stats.OpensForUpdate;
     OTM_TRACE_OPEN_EVENT(Obs.Ring, obs::EventKind::OpenForUpdate, &Cell,
                     obs::AuxWordStm);
+    OTM_PHASE_OPEN_SCOPE(Obs.Sampling, Stats.PhaseOpenCycles);
     Writes.put(&Cell, toBits(Value), &applyCell<T>);
   }
 
@@ -168,7 +171,7 @@ private:
   [[noreturn]] void abortOnRead(const void *Addr, uint64_t LockWord) {
     ++Stats.AbortsOnValidation;
     obs::AbortSites::instance().record(Addr, obs::AbortCause::Validation,
-                                       ownerSiteOf(LockWord));
+                                       ownerSiteOf(LockWord), siteId());
     throw WAbort{};
   }
 
@@ -254,6 +257,9 @@ struct WstmRetryAdapter {
     return stm::TxManager::config().SerialFallbackAfter;
   }
   static uint64_t seedMix() { return 0x2545f4914f6cdd1dULL; }
+  static obs::Histogram *backoffHistogram(Manager &Tx) {
+    return &Tx.stats().PhaseBackoffCycles;
+  }
 };
 
 /// Public entry point mirroring stm::Stm::atomic for the baseline STM.

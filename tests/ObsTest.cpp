@@ -341,4 +341,150 @@ TEST(AbortSitesTest, RecordAndTopK) {
   EXPECT_TRUE(Sites.topK(4).empty());
 }
 
+//===----------------------------------------------------------------------===//
+// Percentile interpolation
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramPercentileTest, EmptyHistogramIsZero) {
+  Histogram H;
+  EXPECT_DOUBLE_EQ(H.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(H.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(H.percentile(100.0), 0.0);
+}
+
+TEST(HistogramPercentileTest, ZeroBucketIsExact) {
+  Histogram H;
+  for (int I = 0; I < 10; ++I)
+    H.record(0);
+  EXPECT_DOUBLE_EQ(H.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(H.percentile(99.9), 0.0);
+}
+
+TEST(HistogramPercentileTest, SingleBucketInterpolates) {
+  // 100 samples of value 5 all land in bucket [4, 8); the upper edge is
+  // clamped to the observed maximum, so every quantile stays in [4, 5].
+  Histogram H;
+  for (int I = 0; I < 100; ++I)
+    H.record(5);
+  EXPECT_DOUBLE_EQ(H.percentile(0.0), 4.0);   // bucket lower bound
+  EXPECT_DOUBLE_EQ(H.percentile(50.0), 4.5);  // halfway through the bucket
+  EXPECT_DOUBLE_EQ(H.percentile(100.0), 5.0); // observed max
+  EXPECT_GE(H.percentile(99.0), 4.0);
+  EXPECT_LE(H.percentile(99.0), 5.0);
+}
+
+TEST(HistogramPercentileTest, TailBucketClampsToMax) {
+  // The top bucket's nominal upper edge is 2^63; the observed max must cap
+  // the interpolation so p999 never extrapolates past a real sample.
+  Histogram H;
+  uint64_t Huge = ~uint64_t(0);
+  for (int I = 0; I < 8; ++I)
+    H.record(Huge);
+  EXPECT_DOUBLE_EQ(H.percentile(100.0), static_cast<double>(Huge));
+  EXPECT_LE(H.percentile(99.9), static_cast<double>(Huge));
+  EXPECT_GE(H.percentile(50.0),
+            static_cast<double>(HistogramBuckets::lowerBound(
+                HistogramBuckets::Num - 1)));
+}
+
+TEST(HistogramPercentileTest, QuantilesAreMonotone) {
+  Histogram H;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    H.record(V);
+  double P50 = H.percentile(50.0);
+  double P99 = H.percentile(99.0);
+  double P999 = H.percentile(99.9);
+  EXPECT_LE(P50, P99);
+  EXPECT_LE(P99, P999);
+  EXPECT_LE(P999, 1000.0);
+  // p50 of 1..1000 sits in the [512, 1000] bucket span.
+  EXPECT_GE(P50, 256.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Conflict-graph edge table
+//===----------------------------------------------------------------------===//
+
+TEST(AbortSitesEdgeTest, RecordAndTopEdges) {
+  AbortSites &Sites = AbortSites::instance();
+  Sites.reset();
+  // Victim site 1 aborted by owner site 2 (conflicts), 3 by 4 (validation).
+  for (int I = 0; I < 5; ++I)
+    Sites.record(nullptr, AbortCause::Conflict, /*OwnerSite=*/2,
+                 /*VictimSite=*/1);
+  Sites.record(nullptr, AbortCause::Validation, 4, 3);
+
+  auto Edges = Sites.topEdges(4);
+  ASSERT_EQ(Edges.size(), 2u);
+  EXPECT_EQ(Edges[0].Victim, 1u);
+  EXPECT_EQ(Edges[0].Owner, 2u);
+  EXPECT_EQ(Edges[0].Conflicts, 5u);
+  EXPECT_EQ(Edges[1].Victim, 3u);
+  EXPECT_EQ(Edges[1].Owner, 4u);
+  EXPECT_EQ(Edges[1].Validations, 1u);
+  EXPECT_EQ(Sites.edgeOccupancy(), 2u);
+  EXPECT_EQ(Sites.edgesDropped(), 0u);
+
+  JsonValue J = Sites.edgesToJson(4);
+  ASSERT_EQ(J.size(), 2u);
+  EXPECT_EQ(J.at(0).get("victim_site")->asUInt(), 1u);
+  EXPECT_EQ(J.at(0).get("owner_site")->asUInt(), 2u);
+  EXPECT_EQ(J.at(0).get("conflicts")->asUInt(), 5u);
+
+  std::string Dot = Sites.dotGraph();
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("s1 -> s2"), std::string::npos);
+  EXPECT_NE(Dot.find("s3 -> s4"), std::string::npos);
+  Sites.reset();
+}
+
+TEST(AbortSitesEdgeTest, VictimZeroRecordsNoEdge) {
+  AbortSites &Sites = AbortSites::instance();
+  Sites.reset();
+  int Obj = 0;
+  Sites.record(&Obj, AbortCause::Conflict, 7); // default victim = 0
+  EXPECT_EQ(Sites.edgeOccupancy(), 0u);
+  EXPECT_TRUE(Sites.topEdges(4).empty());
+  Sites.reset();
+}
+
+TEST(AbortSitesEdgeTest, UnknownOwnerRendersDashed) {
+  AbortSites &Sites = AbortSites::instance();
+  Sites.reset();
+  // Owner 0 = "owner released before we sampled it": the weight must still
+  // appear in the graph, as a dashed edge into a distinct sink.
+  Sites.record(nullptr, AbortCause::Conflict, 0, 5);
+  std::string Dot = Sites.dotGraph();
+  EXPECT_NE(Dot.find("s5 -> unknown"), std::string::npos);
+  Sites.reset();
+}
+
+TEST(AbortSitesEdgeTest, WraparoundDropsAndReset) {
+  AbortSites &Sites = AbortSites::instance();
+  Sites.reset();
+  // Far more distinct (victim, owner) pairs than the table holds: the
+  // bounded open-addressed table must fill, count the overflow, and never
+  // grow.
+  const std::size_t Pairs = 4 * AbortSites::edgeCapacity();
+  for (std::size_t I = 0; I < Pairs; ++I)
+    Sites.record(nullptr, AbortCause::Conflict,
+                 static_cast<uint32_t>(1000 + I),
+                 static_cast<uint32_t>(1 + (I % 97)));
+  EXPECT_LE(Sites.edgeOccupancy(), AbortSites::edgeCapacity());
+  EXPECT_GT(Sites.edgesDropped(), 0u);
+  EXPECT_EQ(Sites.edgeOccupancy() + Sites.edgesDropped(), Pairs);
+
+  // Recording an edge that already has a slot still counts after overflow.
+  auto Edges = Sites.topEdges(1);
+  ASSERT_EQ(Edges.size(), 1u);
+  Sites.record(nullptr, AbortCause::Conflict, Edges[0].Owner,
+               Edges[0].Victim);
+  EXPECT_EQ(Sites.topEdges(1)[0].Conflicts, Edges[0].Conflicts + 1);
+
+  Sites.reset();
+  EXPECT_EQ(Sites.edgeOccupancy(), 0u);
+  EXPECT_EQ(Sites.edgesDropped(), 0u);
+  EXPECT_TRUE(Sites.topEdges(4).empty());
+}
+
 } // namespace
