@@ -144,6 +144,7 @@ public:
     stm::TxStats Global = stm::Stm::globalStats();
     Reporter.addSection("stm", stm::statsToJson(Global));
     Reporter.addSection("phases", stm::phaseBreakdownToJson(Global));
+    Reporter.addSection("mvcc", stm::mvccStatsToJson(Global));
     Reporter.addSection("abort_sites", stm::abortSitesToJson());
     Reporter.addSection("pass_stats", obs::Statistic::allToJson());
     obs::JsonValue Cm = txn::cmStatsToJson(txn::CmStats::instance().snapshot());

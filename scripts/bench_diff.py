@@ -40,9 +40,11 @@ TIMING_FIELDS = {"cpu_time_ns", "real_time_ns", "seconds", "iterations",
 # Timing-like fields by shape: anything measured in cycles or nanoseconds,
 # quantiles of latency histograms (commit_p50_cycles, ...), and rates. These
 # vary with the host clock, so new rows of this shape must never trip the
-# count gate.
+# count gate. The nd_ prefix marks counts that are nondeterministic by
+# construction (abort/retry/wait totals that depend on thread interleaving);
+# benchmarks use it to report them without joining the gate.
 TIMING_PATTERNS = re.compile(
-    r"(_cycles|_ns|_us|_ms|_per_sec|_percent)$|^(p50|p99|p999)(_|$)")
+    r"(_cycles|_ns|_us|_ms|_per_sec|_percent)$|^(p50|p99|p999)(_|$)|^nd_")
 
 
 def is_timing_field(name):

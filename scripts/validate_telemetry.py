@@ -28,6 +28,16 @@ import sys
 SCHEMA = "otm-telemetry-v1"
 REQUIRED_KEYS = ("schema", "seq", "t_us", "interval_ms", "totals", "deltas")
 
+# When a record carries the "mvcc" source (registered by the object STM when
+# the tier is compiled in), these keys must be present so consumers can rely
+# on them without per-key existence checks. The keys exist with value 0 in
+# OTM_MVCC=0 builds too — the schema must not fork on the compile switch.
+MVCC_KEYS = ("enabled", "snapshot_commits", "snapshot_upgrades",
+             "snapshot_refreshes", "snapshot_reads",
+             "snapshot_reads_from_chain", "snapshot_waits",
+             "versions_installed", "versions_retired", "versions_live",
+             "chain_depth")
+
 
 def check_deltas_nonnegative(node, path, errors):
     if isinstance(node, dict):
@@ -81,6 +91,17 @@ def validate_file(path):
                     prev_t = t_us
                 check_deltas_nonnegative(rec.get("deltas", {}),
                                          f"line {lineno}: deltas", errors)
+                totals = rec.get("totals")
+                if isinstance(totals, dict) and "mvcc" in totals:
+                    mvcc = totals["mvcc"]
+                    if not isinstance(mvcc, dict):
+                        errors.append(f"line {lineno}: totals.mvcc is not "
+                                      f"an object")
+                    else:
+                        for key in MVCC_KEYS:
+                            if key not in mvcc:
+                                errors.append(f"line {lineno}: totals.mvcc "
+                                              f"missing key {key!r}")
                 records += 1
     except OSError as err:
         errors.append(f"cannot read: {err}")

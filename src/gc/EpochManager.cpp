@@ -88,7 +88,12 @@ void EpochManager::retire(void *Ptr, Deleter D) {
   ThreadState &TS = state();
   uint64_t E = GlobalEpoch.load(std::memory_order_acquire);
   TS.Bin.push_back({Ptr, D, E});
-  if (TS.Bin.size() >= CollectThreshold)
+  // Deleters may retire further objects (an object's destructor retiring
+  // the version records hanging off it). Those land in the bin like any
+  // other retirement, but must not re-enter collect(): the outer collect
+  // is mid-iteration over this bin (double free) and may hold OrphanMutex
+  // (self-deadlock).
+  if (TS.Bin.size() >= CollectThreshold && !TS.InCollect)
     collect();
 }
 
@@ -119,6 +124,9 @@ void EpochManager::freeUpTo(std::vector<Retired> &Bin, uint64_t SafeEpoch) {
 }
 
 void EpochManager::collect() {
+  ThreadState &TS = state();
+  if (TS.InCollect)
+    return; // re-entered from a deleter; the outer collect finishes the job
   // Try to advance the global epoch: allowed when every pinned thread has
   // observed the current epoch.
   uint64_t Current = GlobalEpoch.load(std::memory_order_seq_cst);
@@ -127,11 +135,13 @@ void EpochManager::collect() {
                                         std::memory_order_seq_cst);
 
   uint64_t Safe = minActiveEpoch();
-  freeUpTo(state().Bin, Safe);
+  TS.InCollect = true;
+  freeUpTo(TS.Bin, Safe);
   {
     std::lock_guard<std::mutex> Lock(OrphanMutex);
     freeUpTo(OrphanBin, Safe);
   }
+  TS.InCollect = false;
 }
 
 void EpochManager::drainForTesting() {
@@ -147,9 +157,13 @@ void EpochManager::drainForTesting() {
   collect();
   ThreadState &TS = state();
   uint64_t Max = ~static_cast<uint64_t>(0);
+  TS.InCollect = true;
   freeUpTo(TS.Bin, Max);
-  std::lock_guard<std::mutex> Lock(OrphanMutex);
-  freeUpTo(OrphanBin, Max);
+  {
+    std::lock_guard<std::mutex> Lock(OrphanMutex);
+    freeUpTo(OrphanBin, Max);
+  }
+  TS.InCollect = false;
 }
 
 std::size_t EpochManager::pendingForTesting() {

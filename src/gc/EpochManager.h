@@ -106,6 +106,7 @@ private:
     Slot *S = nullptr;
     unsigned PinDepth = 0;
     uint64_t LastEpoch = 0; ///< epoch published by the last outermost pin
+    bool InCollect = false; ///< a deleter on this thread is running
     std::vector<Retired> Bin;
     EpochManager *Owner = nullptr;
     ~ThreadState();

@@ -49,10 +49,15 @@ enum class EventKind : uint16_t {
   SerialExit = 8,  ///< serial-irrevocable transaction finished
 };
 
-/// Aux payload values for TxAbort events.
+/// Aux payload values for TxAbort events. The two Snapshot* causes are
+/// *restarts*, not aborts: a read-only attempt re-running as a writer
+/// (upgrade) or on a newer snapshot stamp (refresh). They never undo
+/// in-place state and are excluded from the Aborts counter.
 inline constexpr uint16_t AuxCauseConflict = 0;
 inline constexpr uint16_t AuxCauseValidation = 1;
 inline constexpr uint16_t AuxCauseUser = 2;
+inline constexpr uint16_t AuxCauseSnapshotUpgrade = 3;
+inline constexpr uint16_t AuxCauseSnapshotRefresh = 4;
 
 /// Aux payload bit marking the word-STM (vs the object STM) on tx events.
 inline constexpr uint16_t AuxWordStm = 1u << 8;

@@ -1,0 +1,92 @@
+//===- stm/Mvcc.h - Multi-version support for snapshot readers -*- C++ -*-===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-version tier of the object STM: a global commit clock plus a
+/// short per-object chain of committed *pre-images*, which is what lets
+/// read-only transactions commit off a consistent snapshot with no read
+/// log, no validate scan, and no possibility of abort (DESIGN.md §3.9).
+///
+/// Layout. One MvRecord is shared by all objects a commit wrote: it carries
+/// the commit's stamp and the commit's entire undo log (address, old bits)
+/// — the values the commit *overwrote*. Each written object gets one MvNode
+/// prepended to its chain, pointing at the shared record; a snapshot reader
+/// that finds the in-place value too new walks its object's chain
+/// newest-to-oldest and reconstructs the field as of its begin stamp from
+/// the pre-images. Chains are truncated to TxConfig.MvVersions nodes at
+/// install time; cut nodes (and records whose reference count reaches
+/// zero) are retired through the existing epoch reclaimer, so a reader
+/// paused mid-walk keeps everything it can reach alive via its pin.
+///
+/// The whole tier compiles out under -DOTM_MVCC=0: TxObject loses the
+/// chain-head word, the snapshot read path disappears, and writer commits
+/// go back to per-object version increments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OTM_STM_MVCC_H
+#define OTM_STM_MVCC_H
+
+#include <atomic>
+#include <cstdint>
+
+/// Compile-time kill switch for the multi-version tier (CI builds with
+/// -DOTM_MVCC=0 to prove the legacy validate-scan path stands alone).
+#ifndef OTM_MVCC
+#define OTM_MVCC 1
+#endif
+
+namespace otm {
+namespace stm {
+namespace mv {
+
+/// One overwritten (address, old bits) pair — the same information the undo
+/// log holds, frozen at commit instead of discarded.
+struct MvField {
+  void *Addr;
+  uint64_t Bits;
+};
+
+/// One committed write-back, shared by every object the commit touched.
+/// Fields are stored in undo-log order, so within one record the *first*
+/// match for an address is the oldest pre-image (the value as of the
+/// commit's own begin) — exactly what a reader below this stamp needs.
+/// Trivially destructible: retirement frees the raw block.
+struct MvRecord {
+  uint64_t NewStamp;               ///< commit stamp this record installed
+  std::atomic<uint32_t> ChainRefs; ///< MvNodes (across objects) pointing here
+  uint32_t NumFields;
+
+  MvField *fields() { return reinterpret_cast<MvField *>(this + 1); }
+  const MvField *fields() const {
+    return reinterpret_cast<const MvField *>(this + 1);
+  }
+};
+
+/// One link in an object's version chain (newest first). PrevStamp is the
+/// stamp the object carried *before* this commit, so a walker knows when
+/// the remaining history is at or below its snapshot without dereferencing
+/// the older node.
+struct MvNode {
+  MvRecord *Rec;
+  std::atomic<MvNode *> Older;
+  uint64_t PrevStamp;
+};
+
+/// The global commit clock. Writer commits stamp their objects with
+/// 1 + fetch_add(1) *after* validation succeeds (no abort can follow), so
+/// stamps are unique, monotone, and any snapshot stamp T read from the
+/// clock has the property that every commit ≤ T is fully published.
+inline std::atomic<uint64_t> &commitClock() {
+  static std::atomic<uint64_t> Clock{0};
+  return Clock;
+}
+
+} // namespace mv
+} // namespace stm
+} // namespace otm
+
+#endif // OTM_STM_MVCC_H

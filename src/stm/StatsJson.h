@@ -18,6 +18,7 @@
 #include "obs/AbortSites.h"
 #include "obs/Json.h"
 #include "obs/PhaseProfile.h"
+#include "stm/Mvcc.h"
 #include "stm/TxStats.h"
 
 namespace otm {
@@ -78,6 +79,33 @@ inline obs::JsonValue statsToJson(const TxStats &S) {
     Histograms.set(Name, histogramToJson(H));
   });
   V.set("histograms", std::move(Histograms));
+  return V;
+}
+
+/// The MVCC tier's view of a stats block: snapshot-path traffic, version
+/// churn, and the chain-depth distribution (DESIGN.md §3.9). live_versions
+/// is a gauge derived from two counters sampled non-atomically, so it can
+/// transiently undershoot; it is clamped at zero.
+inline obs::JsonValue mvccStatsToJson(const TxStats &S) {
+  obs::JsonValue V = obs::JsonValue::object();
+  V.set("enabled", OTM_MVCC != 0);
+  V.set("snapshot_commits", S.SnapshotCommits);
+  V.set("snapshot_upgrades", S.SnapshotUpgrades);
+  V.set("snapshot_refreshes", S.SnapshotRefreshes);
+  V.set("snapshot_reads", S.SnapshotReads);
+  V.set("snapshot_reads_from_chain", S.SnapshotReadsFromChain);
+  V.set("snapshot_waits", S.SnapshotWaits);
+  V.set("versions_installed", S.MvVersionsInstalled);
+  V.set("versions_retired", S.MvVersionsRetired);
+  V.set("versions_live", S.MvVersionsInstalled >= S.MvVersionsRetired
+                             ? S.MvVersionsInstalled - S.MvVersionsRetired
+                             : 0);
+  obs::JsonValue Depth = obs::JsonValue::object();
+  Depth.set("count", S.MvChainDepth.count());
+  Depth.set("max", S.MvChainDepth.max());
+  Depth.set("p50", S.MvChainDepth.percentile(50.0));
+  Depth.set("p99", S.MvChainDepth.percentile(99.0));
+  V.set("chain_depth", std::move(Depth));
   return V;
 }
 

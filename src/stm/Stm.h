@@ -36,6 +36,7 @@
 #include "stm/TxStats.h"
 #include "txn/RetryExecutor.h"
 
+#include <optional>
 #include <utility>
 
 namespace otm {
@@ -87,6 +88,11 @@ struct StmRetryAdapter {
   static obs::Histogram *backoffHistogram(Manager &Tx) {
     return &Tx.stats().PhaseBackoffCycles;
   }
+  /// Snapshot readers are invisible and validate-free: the retry layer lets
+  /// them bypass the serial gate (they cannot conflict with the exclusive
+  /// writer) while still pinning the epoch. Evaluated per attempt so an
+  /// upgrade restart re-enters the gate as a normal writer.
+  static bool zeroConflict(Manager &Tx) { return Tx.armAttemptMode(); }
 };
 
 class Stm {
@@ -104,6 +110,30 @@ public:
   template <typename FnType> static auto atomicResult(FnType &&Fn) {
     return txn::RetryExecutor<StmRetryAdapter>::atomicResult(
         std::forward<FnType>(Fn));
+  }
+
+  /// Runs \p Fn as a *read-only* transaction on the MVCC snapshot path: all
+  /// reads must go through Tx.read()/Tx.snapshotLoad(), the commit needs no
+  /// validation, and no concurrent writer can abort it. A body that turns
+  /// out to write (any update barrier, allocation, or decomposed
+  /// openForRead) transparently restarts as an ordinary writer, so the hint
+  /// is always safe — just wasted when wrong. Nested inside an existing
+  /// transaction it flattens like atomic() and the hint is ignored. Falls
+  /// back to atomic() entirely when the MVCC tier is compiled out or
+  /// TxConfig.MvVersions is 0.
+  template <typename FnType> static void atomicReadOnly(FnType &&Fn) {
+    TxManager &Tx = TxManager::current();
+    if (!Tx.inTx())
+      Tx.setReadOnlyHint(true);
+    txn::RetryExecutor<StmRetryAdapter>::atomic(std::forward<FnType>(Fn));
+  }
+
+  /// atomicReadOnly with a result (see atomicResult for the storage rules).
+  template <typename FnType> static auto atomicReadOnlyResult(FnType &&Fn) {
+    using ResultType = decltype(Fn(std::declval<TxManager &>()));
+    std::optional<ResultType> Result;
+    atomicReadOnly([&](TxManager &Tx) { Result.emplace(Fn(Tx)); });
+    return std::move(*Result);
   }
 
   static TxConfig &config() { return TxManager::config(); }

@@ -47,10 +47,31 @@ struct TxConfig {
   /// fallback. Defaults to the OTM_RETRY_BUDGET environment variable.
   unsigned SerialFallbackAfter = defaultSerialFallbackAfter();
 
+  /// Static read-only hint: transactions begun under this flag run on the
+  /// MVCC snapshot path (no read log, no validation, cannot abort) and are
+  /// restarted as writers on their first update barrier. Per-transaction
+  /// declaration goes through Stm::atomicReadOnly instead of this
+  /// process-wide knob. Ignored when the MVCC tier is compiled out.
+  bool ReadOnly = false;
+
+  /// Committed versions kept per object for snapshot readers (chain depth
+  /// K). 0 disables version-chain maintenance, which also sends read-only
+  /// transactions back to the validate-scan path. Defaults to the
+  /// OTM_MV_VERSIONS environment variable. Set once at startup: toggling
+  /// while snapshot readers are in flight only costs them refresh restarts,
+  /// but it wastes the chains already built.
+  unsigned MvVersions = defaultMvVersions();
+
   static unsigned defaultSerialFallbackAfter() {
     if (const char *E = std::getenv("OTM_RETRY_BUDGET"))
       return static_cast<unsigned>(std::strtoul(E, nullptr, 10));
     return 64;
+  }
+
+  static unsigned defaultMvVersions() {
+    if (const char *E = std::getenv("OTM_MV_VERSIONS"))
+      return static_cast<unsigned>(std::strtoul(E, nullptr, 10));
+    return 8;
   }
 };
 

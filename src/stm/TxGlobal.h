@@ -27,11 +27,9 @@ public:
   TxGlobal() = default;
   explicit TxGlobal(T Initial) : Value(Initial) {}
 
-  /// Transactional read (open-for-read barrier + direct load).
-  T get(TxManager &Tx) {
-    Tx.openForRead(this);
-    return Value.load();
-  }
+  /// Transactional read (open-for-read barrier + direct load; resolves
+  /// against the begin-stamp version inside a snapshot transaction).
+  T get(TxManager &Tx) { return Tx.snapshotLoad(this, &Value); }
 
   /// Transactional write (open-for-update + undo log + in-place store).
   void set(TxManager &Tx, T NewValue) {

@@ -82,17 +82,64 @@ bool TxManager::validate() {
   return Ok;
 }
 
-void TxManager::releaseOwnershipForCommit() {
+void TxManager::releaseOwnershipForCommit(uint64_t CommitStamp) {
+#if OTM_MVCC
+  // Every object this commit wrote gets the same global stamp: snapshot
+  // readers compare it against their begin-time clock value, and stamps
+  // are unique and monotone so validation's word compare stays exact.
+  const WordValue NewWord = makeVersion(CommitStamp);
+  UpdateLog.forEach([NewWord](UpdateEntry &Entry) {
+    Entry.Obj->Word.store(NewWord, std::memory_order_release);
+  });
+#else
+  (void)CommitStamp;
   UpdateLog.forEach([](UpdateEntry &Entry) {
     WordValue NewWord = makeVersion(versionOf(Entry.PrevWord) + 1);
     Entry.Obj->Word.store(NewWord, std::memory_order_release);
   });
+#endif
 }
 
 void TxManager::releaseOwnershipForAbort() {
-  UpdateLog.forEach([](UpdateEntry &Entry) {
-    Entry.Obj->Word.store(Entry.PrevWord, std::memory_order_release);
+  // Releasing with the pre-ownership word restored would be an ABA trap: a
+  // transaction that read a field between our in-place store and this
+  // rollback has a dirty value, but its read-log entry would still match
+  // the word and validate — it could commit state that never existed
+  // (observed as an extra increment under preemption-heavy scheduling).
+  // Instead an abort releases like an *identity commit* of the restored
+  // values: the word moves to a fresh version, so every concurrent read
+  // enlisted against the old word — and every upgrade whose PrevWord is
+  // the old word — fails validation and retries.
+  if (UpdateLog.empty())
+    return;
+  if (UndoLog.empty()) {
+    // Ownership was acquired but nothing was stored in place, so no dirty
+    // value can have escaped: restoring the old word is exact.
+    UpdateLog.forEach([](UpdateEntry &Entry) {
+      Entry.Obj->Word.store(Entry.PrevWord, std::memory_order_release);
+    });
+    return;
+  }
+#if OTM_MVCC
+  // The pseudo-commit draws from the same clock as real commits (stamps
+  // stay unique and monotone) and installs the same version-chain node:
+  // the undo log's pre-images are exactly the values this rollback just
+  // restored, so snapshot readers resolve through it instead of being
+  // pushed to a refresh by a stamp they cannot find on the chain.
+  const uint64_t AbortStamp =
+      1 + mv::commitClock().fetch_add(1, std::memory_order_acq_rel);
+  if (OTM_LIKELY(ActiveConfig.MvVersions > 0))
+    installVersions(AbortStamp);
+  const WordValue NewWord = makeVersion(AbortStamp);
+  UpdateLog.forEach([NewWord](UpdateEntry &Entry) {
+    Entry.Obj->Word.store(NewWord, std::memory_order_release);
   });
+#else
+  UpdateLog.forEach([](UpdateEntry &Entry) {
+    WordValue NewWord = makeVersion(versionOf(Entry.PrevWord) + 1);
+    Entry.Obj->Word.store(NewWord, std::memory_order_release);
+  });
+#endif
 }
 
 bool TxManager::tryCommit() {
@@ -101,6 +148,11 @@ bool TxManager::tryCommit() {
     --Depth; // nested commit: the outermost decides
     return true;
   }
+
+#if OTM_MVCC
+  if (OTM_UNLIKELY(SnapshotMode))
+    return snapshotCommit();
+#endif
 
   if (OTM_UNLIKELY(!validate())) {
     ++Stats.AbortsOnValidation;
@@ -114,9 +166,24 @@ bool TxManager::tryCommit() {
   // Read-only transactions skip the (out-of-line) release walk entirely.
   if (!UpdateLog.empty()) {
     obs::PhaseScope Ph(Obs.Sampling, Stats.PhaseWriteBackCycles);
-    releaseOwnershipForCommit();
+#if OTM_MVCC
+    // Take the commit stamp only now: validation has succeeded and nothing
+    // can abort this transaction anymore, so every stamp the clock hands
+    // out is eventually published and snapshot stamps never wait on holes.
+    const uint64_t CommitStamp =
+        1 + mv::commitClock().fetch_add(1, std::memory_order_acq_rel);
+    if (OTM_LIKELY(ActiveConfig.MvVersions > 0))
+      installVersions(CommitStamp);
+    releaseOwnershipForCommit(CommitStamp);
+#else
+    releaseOwnershipForCommit(0);
+#endif
   }
   ++Stats.Commits;
+#if OTM_MVCC
+  ForceWriter = false; // the transaction is done; drop the upgrade latch
+  ReadOnlyHint = false;
+#endif
   Obs.onCommit(0, Stats.CommitTscCycles, Stats.RetriesPerCommit);
 
   // Deferred frees take effect only now that the deletion is committed;
@@ -138,6 +205,10 @@ static uint16_t auxCauseFor(AbortTx::Cause Why) {
     return obs::AuxCauseValidation;
   case AbortTx::Cause::User:
     return obs::AuxCauseUser;
+  case AbortTx::Cause::SnapshotUpgrade:
+    return obs::AuxCauseSnapshotUpgrade;
+  case AbortTx::Cause::SnapshotRefresh:
+    return obs::AuxCauseSnapshotRefresh;
   }
   return obs::AuxCauseConflict;
 }
@@ -146,6 +217,7 @@ void TxManager::rollbackAttempt(AbortTx::Cause Why) {
   assert(inTx() && "rollbackAttempt outside a transaction");
   // Undo in reverse so multiply-written locations get their oldest value
   // back (only relevant when undo filtering is off and duplicates exist).
+  // Snapshot attempts have nothing enlisted, so these walks are no-ops.
   UndoLog.forEachReverse(
       [](UndoEntry &Entry) { Entry.Restore(Entry.Addr, Entry.Bits); });
   // Only after every old value is back in place may others see the object.
@@ -157,7 +229,19 @@ void TxManager::rollbackAttempt(AbortTx::Cause Why) {
     if (!Entry.FreeOnCommit)
       gc::EpochManager::global().retire(Entry.Raw, Entry.Destroy);
   });
-  ++Stats.Aborts;
+  // Snapshot upgrades/refreshes are restarts of a transaction that cannot
+  // lose to anyone — keeping them out of Aborts preserves the never-abort
+  // accounting the read-only path advertises.
+  const bool SnapshotRestart = Why == AbortTx::Cause::SnapshotUpgrade ||
+                               Why == AbortTx::Cause::SnapshotRefresh;
+  if (!SnapshotRestart)
+    ++Stats.Aborts;
+#if OTM_MVCC
+  if (Why == AbortTx::Cause::User) {
+    ForceWriter = false; // final outcome: drop the per-transaction latches
+    ReadOnlyHint = false;
+  }
+#endif
   Obs.onAbort(auxCauseFor(Why), 0);
   finishAttempt();
 }
@@ -228,6 +312,195 @@ void TxManager::userAbort() {
   abortAndThrow(AbortTx::Cause::User);
 }
 
+#if OTM_MVCC
+
+namespace {
+/// MvRecord/MvNode blocks come from the transaction pool; retirement frees
+/// them raw (both types are trivially destructible).
+void freePoolBlock(void *P) { support::TxPool::deallocate(P); }
+} // namespace
+
+void TxManager::installVersions(uint64_t CommitStamp) {
+  assert(!UpdateLog.empty() && "nothing to version");
+  const std::size_t NumFields = UndoLog.size();
+  // One shared record per commit carries the whole undo log (the
+  // pre-images); one node per written object links it into that object's
+  // chain. Within the record, fields keep undo-log order, so the first
+  // match for an address is the oldest pre-image even when undo filtering
+  // is off and duplicates exist.
+  auto *Rec = static_cast<mv::MvRecord *>(support::TxPool::allocate(
+      sizeof(mv::MvRecord) + NumFields * sizeof(mv::MvField)));
+  Rec->NewStamp = CommitStamp;
+  Rec->ChainRefs.store(static_cast<uint32_t>(UpdateLog.size()),
+                       std::memory_order_relaxed);
+  Rec->NumFields = static_cast<uint32_t>(NumFields);
+  std::size_t I = 0;
+  UndoLog.forEach([&](UndoEntry &Entry) {
+    Rec->fields()[I++] = {Entry.Addr, Entry.Bits};
+  });
+
+  const unsigned K = ActiveConfig.MvVersions;
+  UpdateLog.forEach([&](UpdateEntry &Entry) {
+    TxObject *Obj = Entry.Obj;
+    auto *Node =
+        static_cast<mv::MvNode *>(support::TxPool::allocate(sizeof(mv::MvNode)));
+    Node->Rec = Rec;
+    // We hold update ownership of Obj, so its chain head is ours alone to
+    // write; readers get the node (and the record behind it) through the
+    // release store below.
+    Node->Older.store(Obj->Hist.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    Node->PrevStamp = versionOf(Entry.PrevWord);
+    Obj->Hist.store(Node, std::memory_order_release);
+    ++Stats.MvVersionsInstalled;
+
+    // Truncate the chain to K nodes. Readers paused inside the cut tail
+    // stay safe: the nodes (and the records they reference) are retired
+    // through the epoch reclaimer, which waits out every active pin.
+    unsigned Depth = 1;
+    mv::MvNode *Last = Node;
+    while (Depth < K) {
+      mv::MvNode *Older = Last->Older.load(std::memory_order_relaxed);
+      if (!Older)
+        break;
+      Last = Older;
+      ++Depth;
+    }
+    if (Depth == K) {
+      mv::MvNode *Cut = Last->Older.load(std::memory_order_relaxed);
+      if (Cut) {
+        Last->Older.store(nullptr, std::memory_order_relaxed);
+        do {
+          mv::MvNode *Next = Cut->Older.load(std::memory_order_relaxed);
+          if (Cut->Rec->ChainRefs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            gc::EpochManager::global().retire(Cut->Rec, freePoolBlock);
+          gc::EpochManager::global().retire(Cut, freePoolBlock);
+          ++Stats.MvVersionsRetired;
+          Cut = Next;
+        } while (Cut);
+      }
+    }
+    if (OTM_UNLIKELY(Obs.Sampling))
+      Stats.MvChainDepth.record(Depth);
+  });
+}
+
+bool TxManager::snapshotCommit() {
+  // The snapshot was consistent by construction, so there is nothing to
+  // validate, publish, or release — this is the entire commit.
+  assert(ReadLog.empty() && UpdateLog.empty() && UndoLog.empty() &&
+         AllocLog.empty() && "snapshot attempt enlisted state");
+  ++Stats.Commits;
+  ++Stats.SnapshotCommits;
+  ForceWriter = false;
+  ReadOnlyHint = false;
+  Obs.onCommit(0, Stats.CommitTscCycles, Stats.RetriesPerCommit);
+  finishAttempt();
+  return true;
+}
+
+TxManager::SnapshotResolve
+TxManager::snapshotResolve(TxObject *Obj, const void *Addr, WordValue W,
+                           uint64_t &Bits) const {
+  const uint64_t T = SnapshotStamp;
+  mv::MvNode *Node = Obj->Hist.load(std::memory_order_acquire);
+  if (!isOwned(W)) {
+    // The committed value is newer than our stamp. The chain must account
+    // for that commit; a mismatched head means it committed without
+    // maintaining the chain (MvVersions was toggled off mid-run) and the
+    // pre-image never existed — only a fresh stamp can make progress.
+    if (!Node || Node->Rec->NewStamp != versionOf(W))
+      return SnapshotResolve::Refresh;
+  } else if (!Node) {
+    // First-ever writer of this object is in flight; its rollback-or-commit
+    // resolves the word and the fast path takes over.
+    return SnapshotResolve::Wait;
+  }
+  bool Found = false;
+  bool Covered = false;
+  while (Node) {
+    const mv::MvRecord *Rec = Node->Rec;
+    if (Rec->NewStamp <= T) {
+      Covered = true; // the rest of the chain is at or below the snapshot
+      break;
+    }
+    // This commit is above the snapshot: whatever it overwrote is closer
+    // to the snapshot state than the in-place value. Keep overwriting as
+    // the walk ages so the *oldest* qualifying pre-image wins.
+    for (uint32_t F = 0; F < Rec->NumFields; ++F) {
+      if (Rec->fields()[F].Addr == Addr) {
+        Bits = Rec->fields()[F].Bits;
+        Found = true;
+        break; // first match within a record = that commit's oldest value
+      }
+    }
+    if (Node->PrevStamp <= T) {
+      Covered = true; // the object's pre-commit state was already visible
+      break;
+    }
+    mv::MvNode *Older = Node->Older.load(std::memory_order_acquire);
+    // Contiguity check: a gap (older node missing or stamped differently
+    // than this node's predecessor) means an unmaintained commit hides in
+    // between; its pre-images are lost, so refresh rather than guess.
+    if (Older && Older->Rec->NewStamp != Node->PrevStamp)
+      return SnapshotResolve::Refresh;
+    Node = Older;
+  }
+  // Without coverage the walk never reached a state at or below the
+  // snapshot: the chain was truncated above it, and any pre-image found on
+  // the way down still reflects a commit newer than the snapshot. Only a
+  // fresh stamp can make progress.
+  if (!Covered)
+    return SnapshotResolve::Refresh;
+  if (Found)
+    return SnapshotResolve::Hit;
+  // Every commit above the snapshot left this field alone; the in-place
+  // value is the snapshot value — once no writer is mid-flight on it.
+  return isOwned(W) ? SnapshotResolve::Wait : SnapshotResolve::InPlace;
+}
+
+void TxManager::snapshotWait(TxObject *Obj) {
+  ++Stats.SnapshotWaits;
+  unsigned Spin = 0;
+  while (isOwned(Obj->Word.load(std::memory_order_acquire))) {
+    if (++Spin % 64 == 0)
+      std::this_thread::yield();
+    else
+      cpuRelax();
+  }
+}
+
+void TxManager::upgradeToWriter() {
+  ++Stats.SnapshotUpgrades;
+  ForceWriter = true; // every further attempt of this transaction is a writer
+  abortAndThrow(AbortTx::Cause::SnapshotUpgrade);
+}
+
+void TxManager::refreshSnapshot() {
+  ++Stats.SnapshotRefreshes;
+  abortAndThrow(AbortTx::Cause::SnapshotRefresh);
+}
+
+void TxObject::releaseHistory() noexcept {
+  // Runs from the destructor: any reader that could have reached this chain
+  // head was waited out by the epoch grace period that preceded the delete
+  // (shared objects die via retireOnCommit), so the nodes are unreachable
+  // and freed directly. Records may still be referenced by *other* objects'
+  // chains and readers thereof — drop our reference and epoch-retire on
+  // zero.
+  mv::MvNode *Node = Hist.load(std::memory_order_relaxed);
+  Hist.store(nullptr, std::memory_order_relaxed);
+  while (Node) {
+    mv::MvNode *Older = Node->Older.load(std::memory_order_relaxed);
+    if (Node->Rec->ChainRefs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      gc::EpochManager::global().retire(Node->Rec, freePoolBlock);
+    support::TxPool::deallocate(Node);
+    Node = Older;
+  }
+}
+
+#endif // OTM_MVCC
+
 void TxManager::flushStats() {
   GlobalTxStats::instance().add(Stats);
   Stats.reset();
@@ -292,6 +565,9 @@ struct StmTelemetrySources {
     });
     T.registerSource("phases", [] {
       return phaseBreakdownToJson(GlobalTxStats::instance().snapshot());
+    });
+    T.registerSource("mvcc", [] {
+      return mvccStatsToJson(GlobalTxStats::instance().snapshot());
     });
   }
 } RegisterStmSources;

@@ -42,6 +42,7 @@
 #include "stm/Field.h"
 #include "stm/HashFilter.h"
 #include "stm/LogEntries.h"
+#include "stm/Mvcc.h"
 #include "stm/StmWord.h"
 #include "stm/TxConfig.h"
 #include "stm/TxObject.h"
@@ -61,8 +62,16 @@ namespace stm {
 /// Thrown (internally) when a transaction must abort and restart: ownership
 /// conflict, failed revalidation, or an explicit user abort. Caught by
 /// Stm::atomic's retry loop; user code should not catch it.
+///
+/// The two Snapshot* causes are restarts of the MVCC read-only path, not
+/// aborts: SnapshotUpgrade re-runs a read-only attempt as a writer after it
+/// hit an update barrier, SnapshotRefresh re-runs it on a fresh snapshot
+/// stamp after its begin stamp fell off a version chain. Neither undoes
+/// any in-place state (snapshot attempts have none) and neither counts as
+/// an abort in the statistics.
 struct AbortTx {
-  enum class Cause { Conflict, Validation, User };
+  enum class Cause { Conflict, Validation, User, SnapshotUpgrade,
+                     SnapshotRefresh };
   Cause Why = Cause::Conflict;
 };
 
@@ -115,6 +124,15 @@ public:
     assert(ReadLog.empty() && UpdateLog.empty() && UndoLog.empty() &&
            AllocLog.empty() && "logs leaked from a previous attempt");
     EPin.pin(); // nested under RetryController's pre-pin on executor paths
+#if OTM_MVCC
+    // The retry layer may have pre-computed the attempt mode (so its gate
+    // bypass and our path agree even if config() races); manual drivers
+    // compute it here.
+    SnapshotMode = ArmedModeValid ? ArmedSnapshot : wantsSnapshot();
+    ArmedModeValid = false;
+    if (OTM_UNLIKELY(SnapshotMode))
+      SnapshotStamp = mv::commitClock().load(std::memory_order_acquire);
+#endif
     ++Stats.Starts;
     Obs.onBegin(0);
   }
@@ -142,6 +160,13 @@ public:
   /// already owns the object for update skips logging entirely.
   void openForRead(TxObject *Obj) {
     assert(inTx() && "openForRead outside a transaction");
+#if OTM_MVCC
+    // Decomposed opens hand out raw in-place access, which a snapshot
+    // cannot honor; only the combined read()/snapshotLoad() barriers are
+    // snapshot-safe. Restart as a writer (same rule as openForUpdate).
+    if (OTM_UNLIKELY(SnapshotMode))
+      upgradeToWriter();
+#endif
     ++Stats.OpensForRead;
     OTM_TRACE_OPEN_EVENT(Obs.Ring, obs::EventKind::OpenForRead, Obj, 0);
     OTM_PHASE_OPEN_SCOPE(Obs.Sampling, Stats.PhaseOpenCycles);
@@ -165,6 +190,12 @@ public:
   /// and then aborts this transaction.
   void openForUpdate(TxObject *Obj) {
     assert(inTx() && "openForUpdate outside a transaction");
+#if OTM_MVCC
+    // Dynamic read-only detection: the first update barrier restarts the
+    // attempt as a writer (the paper's upgrade rule lifted to tx level).
+    if (OTM_UNLIKELY(SnapshotMode))
+      upgradeToWriter();
+#endif
     ++Stats.OpensForUpdate;
     OTM_TRACE_OPEN_EVENT(Obs.Ring, obs::EventKind::OpenForUpdate, Obj, 0);
     OTM_PHASE_OPEN_SCOPE(Obs.Sampling, Stats.PhaseOpenCycles);
@@ -213,6 +244,10 @@ public:
   /// Registers an externally allocated object as transaction-local.
   template <typename T> void recordAlloc(T *Obj) {
     assert(inTx() && "recordAlloc outside a transaction");
+#if OTM_MVCC
+    if (OTM_UNLIKELY(SnapshotMode))
+      upgradeToWriter(); // allocation is a side effect: not read-only
+#endif
     AllocLog.emplaceBack(static_cast<TxObject *>(Obj),
                          static_cast<void *>(Obj),
                          +[](void *P) { delete static_cast<T *>(P); },
@@ -225,6 +260,10 @@ public:
   /// have opened \p Obj for update (so no concurrent committer holds it).
   template <typename T> void retireOnCommit(T *Obj) {
     assert(inTx() && "retireOnCommit outside a transaction");
+#if OTM_MVCC
+    if (OTM_UNLIKELY(SnapshotMode))
+      upgradeToWriter(); // deletion is a side effect: not read-only
+#endif
     AllocLog.emplaceBack(static_cast<TxObject *>(Obj),
                          static_cast<void *>(Obj),
                          +[](void *P) { delete static_cast<T *>(P); },
@@ -238,6 +277,10 @@ public:
 
   template <typename ObjType, typename T>
   T read(ObjType *Obj, Field<T> ObjType::*Member) {
+#if OTM_MVCC
+    if (OTM_UNLIKELY(SnapshotMode))
+      return snapshotLoad(static_cast<TxObject *>(Obj), &(Obj->*Member));
+#endif
     openForRead(Obj);
     return (Obj->*Member).load();
   }
@@ -247,6 +290,118 @@ public:
     openForUpdate(Obj);
     logUndo(&(Obj->*Member));
     (Obj->*Member).store(Value);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Snapshot (MVCC) read path — see DESIGN.md §3.9
+  //===--------------------------------------------------------------------===
+
+  /// True when the MVCC tier is compiled in (-DOTM_MVCC, default on).
+  static constexpr bool mvccEnabled() { return OTM_MVCC != 0; }
+
+  /// Declares the *next* top-level transaction of this manager read-only
+  /// (Stm::atomicReadOnly sets it). Cleared when that transaction commits
+  /// or finally aborts. No-op when the MVCC tier is compiled out.
+  void setReadOnlyHint(bool On) {
+#if OTM_MVCC
+    ReadOnlyHint = On;
+#else
+    (void)On;
+#endif
+  }
+
+  /// True while the current attempt runs on the snapshot path.
+  bool inSnapshotMode() const {
+#if OTM_MVCC
+    return Depth > 0 && SnapshotMode;
+#else
+    return false;
+#endif
+  }
+
+  uint64_t snapshotStampForTesting() const {
+#if OTM_MVCC
+    return SnapshotStamp;
+#else
+    return 0;
+#endif
+  }
+
+  /// Decides and caches the mode of the next attempt. The retry layer calls
+  /// this *before* entering the serial gate so that a snapshot attempt can
+  /// bypass the gate and begin() is guaranteed to agree with that decision
+  /// (config() could change between the two otherwise). Returns true when
+  /// the attempt will run as a zero-conflict snapshot reader.
+  bool armAttemptMode() {
+#if OTM_MVCC
+    ArmedSnapshot = wantsSnapshot();
+    ArmedModeValid = true;
+    return ArmedSnapshot;
+#else
+    return false;
+#endif
+  }
+
+  /// Snapshot-consistent field read: the in-place value when the object's
+  /// version is at or below the begin stamp (seqlock-checked), otherwise
+  /// the pre-image reconstructed from the object's version chain. Never
+  /// enlists anything; never aborts (it can *restart* the attempt on a
+  /// truncated chain). Outside snapshot mode degrades to a plain combined
+  /// read barrier.
+  template <typename T> T snapshotLoad(TxObject *Obj, Field<T> *F) {
+#if OTM_MVCC
+    if (!SnapshotMode) {
+      openForRead(Obj);
+      return F->load();
+    }
+    assert(inTx() && "snapshotLoad outside a transaction");
+    ++Stats.SnapshotReads;
+    const uint64_t T0 = SnapshotStamp;
+    unsigned Retries = 0;
+    for (;;) {
+      WordValue W = Obj->Word.load(std::memory_order_acquire);
+      if (OTM_LIKELY(!isOwned(W) && versionOf(W) <= T0)) {
+        // Fast path: the committed in-place value is old enough. The word
+        // recheck behind an acquire fence makes the two loads a seqlock:
+        // any concurrent commit would have changed the word.
+        T V = F->load();
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (OTM_LIKELY(Obj->Word.load(std::memory_order_relaxed) == W))
+          return V;
+      } else {
+        uint64_t Bits = 0;
+        switch (snapshotResolve(Obj, F, W, Bits)) {
+        case SnapshotResolve::Hit:
+          ++Stats.SnapshotReadsFromChain;
+          return fieldFromBits<T>(Bits);
+        case SnapshotResolve::InPlace: {
+          // Chain walk proved no commit above T0 touched this field; the
+          // in-place value stands if the word has not moved meanwhile.
+          T V = F->load();
+          std::atomic_thread_fence(std::memory_order_acquire);
+          if (Obj->Word.load(std::memory_order_relaxed) == W)
+            return V;
+          break; // a commit landed mid-walk: retry from the word
+        }
+        case SnapshotResolve::Wait:
+          // An in-flight writer holds the only copy of the value we need
+          // (its pre-images are not published until it commits or rolls
+          // back). Waiting is progress, so it does not charge the retry
+          // budget; writer progress is guaranteed by the CM/serial gate.
+          snapshotWait(Obj);
+          continue;
+        case SnapshotResolve::Refresh:
+          refreshSnapshot(); // [[noreturn]]: restart on a fresh stamp
+        }
+      }
+      if (OTM_UNLIKELY(++Retries > 64))
+        refreshSnapshot(); // word churn outran T0; a fresh stamp catches up
+      cpuRelax();
+    }
+#else
+    openForRead(Obj);
+    return F->load();
+#endif
   }
 
   //===--------------------------------------------------------------------===
@@ -325,8 +480,54 @@ private:
   [[noreturn]] void abortAndThrow(AbortTx::Cause Why);
 
   bool validateEntry(const ReadEntry &Entry) const;
-  void releaseOwnershipForCommit();
+  void releaseOwnershipForCommit(uint64_t CommitStamp);
   void releaseOwnershipForAbort();
+
+#if OTM_MVCC
+  /// Mode predicate for the next attempt: snapshot iff declared read-only,
+  /// not already upgraded to a writer, and version chains are maintained.
+  bool wantsSnapshot() const {
+    const TxConfig &C = config();
+    return (C.ReadOnly || ReadOnlyHint) && !ForceWriter && C.MvVersions > 0;
+  }
+
+  /// Restarts the attempt as a writer (first update barrier in snapshot
+  /// mode) / on a fresh snapshot stamp (begin stamp no longer covered by a
+  /// version chain). Both unwind via AbortTx; neither counts as an abort.
+  [[noreturn]] void upgradeToWriter();
+  [[noreturn]] void refreshSnapshot();
+
+  /// Spins (with yields) while \p Obj is owned by an in-flight writer.
+  /// Snapshot readers are invisible, so there is no CM arbitration and no
+  /// abort — only patience.
+  void snapshotWait(TxObject *Obj);
+
+  enum class SnapshotResolve : uint8_t {
+    Hit,     ///< pre-image found in the chain; Bits holds it
+    InPlace, ///< no commit above the stamp touched the field; read in place
+    Wait,    ///< an in-flight owner must release before the value exists
+    Refresh, ///< chain truncated/unmaintained below the stamp: new stamp
+  };
+
+  /// Chain walk for one field of an object whose in-place value is too new
+  /// (or owned). \p W is the word the caller just loaded.
+  SnapshotResolve snapshotResolve(TxObject *Obj, const void *Addr,
+                                  WordValue W, uint64_t &Bits) const;
+
+  /// Commit-side chain maintenance: builds the shared pre-image record from
+  /// the undo log, prepends one node per updated object, truncates each
+  /// chain to ActiveConfig.MvVersions, and epoch-retires the cut tails.
+  void installVersions(uint64_t CommitStamp);
+
+  /// Snapshot-path commit: no validation, no write-back, no release walk.
+  bool snapshotCommit();
+#endif
+
+  template <typename T> static T fieldFromBits(uint64_t Bits) {
+    T V;
+    std::memcpy(&V, &Bits, sizeof(T));
+    return V;
+  }
 
   /// Per-attempt epilogue: reset logs and filters, unpin the epoch. All
   /// clears are pointer/generation resets, so this inlines into the commit
@@ -339,6 +540,9 @@ private:
     ReadFilter.clear();
     UndoFilter.clear();
     Depth = 0;
+#if OTM_MVCC
+    SnapshotMode = false;
+#endif
     EPin.unpin();
   }
 
@@ -350,6 +554,14 @@ private:
   TxConfig ActiveConfig;
   bool FilterReadsOn = true;
   bool FilterUndoOn = true;
+#if OTM_MVCC
+  bool SnapshotMode = false;   ///< current attempt runs validate-free
+  bool ForceWriter = false;    ///< upgraded: rerun attempts as a writer
+  bool ReadOnlyHint = false;   ///< per-transaction Stm::atomicReadOnly flag
+  bool ArmedSnapshot = false;  ///< mode pre-computed by armAttemptMode()
+  bool ArmedModeValid = false;
+  uint64_t SnapshotStamp = 0;  ///< commit-clock value at snapshot begin
+#endif
 
   ChunkedVector<ReadEntry> ReadLog;
   ChunkedVector<UpdateEntry> UpdateLog;

@@ -15,6 +15,7 @@
 #ifndef OTM_STM_TXOBJECT_H
 #define OTM_STM_TXOBJECT_H
 
+#include "stm/Mvcc.h"
 #include "stm/StmWord.h"
 #include "support/TxPool.h"
 
@@ -40,6 +41,16 @@ public:
   TxObject() : Word(makeVersion(0)) {}
   TxObject(const TxObject &) = delete;
   TxObject &operator=(const TxObject &) = delete;
+#if OTM_MVCC
+  /// Version-chain teardown. By the time an object is destroyed (always
+  /// after an epoch grace period when it was shared) no snapshot reader can
+  /// reach its chain head anymore, so the nodes are freed directly; shared
+  /// records are epoch-retired when their last reference drops.
+  ~TxObject() {
+    if (Hist.load(std::memory_order_relaxed))
+      releaseHistory();
+  }
+#endif
 
   static void *operator new(std::size_t Size) {
     return support::TxPool::allocate(Size);
@@ -77,9 +88,33 @@ public:
     return isOwned(Word.load(std::memory_order_acquire));
   }
 
+  /// Length of this object's version chain (0 when the MVCC tier is
+  /// compiled out or no versioned commit has touched the object yet).
+  /// Testing only: racy against concurrent committers.
+  std::size_t historyDepthForTesting() const {
+#if OTM_MVCC
+    std::size_t N = 0;
+    for (const mv::MvNode *Node = Hist.load(std::memory_order_acquire); Node;
+         Node = Node->Older.load(std::memory_order_acquire))
+      ++N;
+    return N;
+#else
+    return 0;
+#endif
+  }
+
 private:
   friend class TxManager;
   std::atomic<WordValue> Word;
+#if OTM_MVCC
+  /// Head of the committed-version chain (newest first). Mutated only by
+  /// the transaction holding update ownership of this object; read
+  /// concurrently by snapshot readers.
+  std::atomic<mv::MvNode *> Hist{nullptr};
+
+  /// Out of line (TxManager.cpp): frees the chain at destruction.
+  void releaseHistory() noexcept;
+#endif
 };
 
 } // namespace stm

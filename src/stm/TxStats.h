@@ -43,7 +43,15 @@ namespace stm {
   X(UndoLogAppends)                                                            \
   X(UndosFiltered)                                                             \
   X(Allocations)                                                               \
-  X(Retires) /* retireOnCommit calls (deferred deletes), both STMs */
+  X(Retires) /* retireOnCommit calls (deferred deletes), both STMs */          \
+  X(SnapshotCommits)        /* read-only commits off the MVCC snapshot path */ \
+  X(SnapshotUpgrades)       /* snapshot attempts restarted as writers */       \
+  X(SnapshotRefreshes)      /* snapshot attempts restarted on a newer stamp */ \
+  X(SnapshotReads)          /* field reads resolved in snapshot mode */        \
+  X(SnapshotReadsFromChain) /* ... that reconstructed from a version chain */  \
+  X(SnapshotWaits)          /* ... that waited out an in-flight writer */      \
+  X(MvVersionsInstalled)    /* version-chain nodes pushed at commit */         \
+  X(MvVersionsRetired)      /* version-chain nodes cut and epoch-retired */
 
 /// Power-of-two distributions sampled when obs::setSampling(true):
 /// CommitTscCycles is outermost begin() -> published commit in TSC ticks;
@@ -60,7 +68,8 @@ namespace stm {
   X(PhaseCommitLockCycles) /* obs::Phase::CommitLock (word STM) */             \
   X(PhaseWriteBackCycles)  /* obs::Phase::WriteBack */                         \
   X(PhaseCmWaitCycles)     /* obs::Phase::CmWait */                            \
-  X(PhaseBackoffCycles)    /* obs::Phase::Backoff (retry layer) */
+  X(PhaseBackoffCycles)    /* obs::Phase::Backoff (retry layer) */             \
+  X(MvChainDepth)          /* version-chain depth after each install */
 
 /// Plain counter block (per thread; no synchronization).
 struct TxStats {

@@ -15,6 +15,7 @@
 #define OTM_SUPPORT_RANDOM_H
 
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 
 namespace otm {
@@ -77,6 +78,48 @@ private:
   }
 
   uint64_t State[4];
+};
+
+/// Zipf-distributed ranks over [0, N): rank 0 is the hottest key. The
+/// YCSB-style closed-form inverse CDF (Gray et al., "Quickly Generating
+/// Billion-Record Synthetic Databases") — one pow() per draw after an O(N)
+/// zeta precomputation, deterministic for a given seed. Skew S in (0, 1);
+/// S ~ 0.99 is the standard "hot-key" web workload.
+class ZipfGenerator {
+public:
+  ZipfGenerator(uint64_t N, double S, uint64_t Seed) : N(N), Theta(S), Rng(Seed) {
+    assert(N > 0 && S > 0.0 && S < 1.0 && "unsupported Zipf parameters");
+    double Zeta2 = 0.0;
+    for (uint64_t I = 1; I <= (N < 2 ? N : 2); ++I)
+      Zeta2 += 1.0 / pow_(double(I), Theta);
+    ZetaN = 0.0;
+    for (uint64_t I = 1; I <= N; ++I)
+      ZetaN += 1.0 / pow_(double(I), Theta);
+    Alpha = 1.0 / (1.0 - Theta);
+    Eta = (1.0 - pow_(2.0 / double(N), 1.0 - Theta)) / (1.0 - Zeta2 / ZetaN);
+  }
+
+  uint64_t next() {
+    double U = Rng.nextDouble();
+    double Uz = U * ZetaN;
+    if (Uz < 1.0)
+      return 0;
+    if (Uz < 1.0 + pow_(0.5, Theta))
+      return 1;
+    uint64_t Rank = static_cast<uint64_t>(
+        double(N) * pow_(Eta * U - Eta + 1.0, Alpha));
+    return Rank < N ? Rank : N - 1;
+  }
+
+private:
+  static double pow_(double Base, double Exp) { return std::pow(Base, Exp); }
+
+  uint64_t N;
+  double Theta;
+  double ZetaN;
+  double Alpha;
+  double Eta;
+  Xoshiro256 Rng;
 };
 
 } // namespace otm

@@ -88,10 +88,23 @@ public:
   /// one seq_cst fence halves the fence count of every uncontended
   /// transaction. The STM's begin() then pins nested (a depth bump), and
   /// afterAbort()/onFinished() release the controller's pin.
-  void beforeAttempt(uint64_t OpCountNow) {
+  /// \p ZeroConflict marks an attempt that cannot conflict with anyone
+  /// (an MVCC snapshot reader): it skips the serial gate entirely — it must
+  /// not stall behind an exclusive writer's drain, and the writer does not
+  /// need it drained either — but still takes the epoch pin. Re-evaluated
+  /// per attempt, so an upgraded (now writing) retry rejoins the gate. A
+  /// zero-conflict transaction that exhausts the retry budget anyway
+  /// (refresh storms) still escalates to serial, which is always safe.
+  void beforeAttempt(uint64_t OpCountNow, bool ZeroConflict = false) {
     OpAtBegin = OpCountNow;
     if (Mode == GateMode::Exclusive)
       return; // still serial from the previous attempt
+    if (OTM_UNLIKELY(ZeroConflict && !PendingSerial)) {
+      EPin.pin();
+      HoldsPin = true;
+      Mode = GateMode::Bypass;
+      return;
+    }
     if (OTM_UNLIKELY(PendingSerial)) {
       PendingSerial = false;
       Gate.enterExclusive(Slot);
@@ -126,7 +139,10 @@ public:
     if (Mode == GateMode::Exclusive)
       return; // retry immediately; we already run alone
     releasePin(); // unpin across the inter-attempt pause
-    leaveShared();
+    if (Mode == GateMode::Shared)
+      leaveShared();
+    else
+      Mode = GateMode::Outside; // Bypass held no gate state
     if (FallbackAfter != 0 && Attempts >= FallbackAfter) {
       PendingSerial = true;
       return; // no pause: escalate on the next attempt
@@ -161,7 +177,7 @@ public:
   void setBackoffHistogram(obs::Histogram *H) { BackoffHist = H; }
 
 private:
-  enum class GateMode : uint8_t { Outside, Shared, Exclusive };
+  enum class GateMode : uint8_t { Outside, Shared, Exclusive, Bypass };
 
   void leaveShared() {
     Gate.exitShared(Slot);
@@ -178,6 +194,8 @@ private:
   void releaseGate() {
     if (Mode == GateMode::Shared) {
       leaveShared();
+    } else if (Mode == GateMode::Bypass) {
+      Mode = GateMode::Outside; // nothing published to the gate
     } else if (Mode == GateMode::Exclusive) {
       Gate.exitExclusive();
       Mode = GateMode::Outside;
@@ -220,6 +238,8 @@ private:
 ///     static CmPolicy policy();                // from the active config
 ///     static unsigned fallbackAfter();         // retry budget
 ///     static uint64_t seedMix();               // backoff seed multiplier
+///     // optional: next attempt cannot conflict -> bypass the serial gate
+///     static bool zeroConflict(Manager &);
 ///   };
 /// \endcode
 template <typename Adapter> class RetryExecutor {
@@ -242,7 +262,13 @@ public:
     if constexpr (requires { Adapter::backoffHistogram(Tx); })
       Ctl.setBackoffHistogram(Adapter::backoffHistogram(Tx));
     for (;;) {
-      Ctl.beforeAttempt(Adapter::opCount(Tx));
+      // Optional adapter hook: attempts that cannot conflict (MVCC snapshot
+      // readers) bypass the serial gate. Asked per attempt — the answer
+      // flips once a read-only body upgrades to a writer.
+      bool ZeroConflict = false;
+      if constexpr (requires { Adapter::zeroConflict(Tx); })
+        ZeroConflict = Adapter::zeroConflict(Tx);
+      Ctl.beforeAttempt(Adapter::opCount(Tx), ZeroConflict);
       Adapter::begin(Tx);
       AttemptOutcome Out = Adapter::attempt(Tx, Fn);
       if (Out != AttemptOutcome::RetryAbort) {

@@ -1,0 +1,417 @@
+//===- tests/MvccTest.cpp - Multi-version snapshot path tests ------------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MVCC tier (DESIGN.md section 3.9): snapshot-isolation semantics of
+/// read-only transactions against concurrent writer commits, the dynamic
+/// upgrade restart, chain truncation at the configured depth, version
+/// reclamation through the epoch manager, and the serial-gate bypass that
+/// keeps snapshot readers running while a writer holds the gate.
+///
+/// Every behavioural test skips itself when the tier is compiled out
+/// (-DOTM_MVCC=0); the suite still links and passes there, proving the
+/// legacy path is schema-complete.
+///
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+
+#include "gc/EpochManager.h"
+#include "stm/TxGlobal.h"
+#include "support/Random.h"
+#include "support/ThreadBarrier.h"
+#include "txn/SerialGate.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+using namespace otm;
+using namespace otm::stm;
+
+namespace {
+
+struct Counter : TxObject {
+  Field<int64_t> Value;
+};
+
+struct Account : TxObject {
+  Field<int64_t> Balance;
+};
+
+struct ConfigGuard {
+  ConfigGuard() : Saved(TxManager::config()) {}
+  ~ConfigGuard() { TxManager::config() = Saved; }
+  TxConfig Saved;
+};
+
+/// Discards the calling thread's unflushed stats into the global block and
+/// zeroes it, so the test's assertions see only its own traffic.
+void resetStats() {
+  TxManager::current().flushStats();
+  Stm::resetGlobalStats();
+}
+
+TxStats statsNow() {
+  TxManager::current().flushStats();
+  return Stm::globalStats();
+}
+
+/// Spins until \p Pred holds; fails (returns false) after ~10 seconds.
+template <typename PredType> bool spinUntil(PredType Pred) {
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!Pred()) {
+    if (std::chrono::steady_clock::now() > Deadline)
+      return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+} // namespace
+
+TEST(Mvcc, QuiescentSnapshotReadCommitsWithoutAbort) {
+  if (!TxManager::mvccEnabled())
+    GTEST_SKIP() << "built with OTM_MVCC=0";
+  Counter C;
+  Stm::atomic([&](TxManager &Tx) { Tx.write(&C, &Counter::Value, int64_t{7}); });
+  resetStats();
+  int64_t Got = -1;
+  bool SawSnapshotMode = false;
+  Stm::atomicReadOnly([&](TxManager &Tx) {
+    SawSnapshotMode = Tx.inSnapshotMode();
+    Got = Tx.read(&C, &Counter::Value);
+  });
+  EXPECT_TRUE(SawSnapshotMode);
+  EXPECT_EQ(Got, 7);
+  TxStats S = statsNow();
+  EXPECT_EQ(S.SnapshotCommits, 1u);
+  EXPECT_EQ(S.Commits, 1u);
+  EXPECT_EQ(S.Aborts, 0u);
+  EXPECT_EQ(S.SnapshotReads, 1u);
+  // Nothing committed above the snapshot stamp: the seqlock fast path
+  // serves the read, the chain is never walked.
+  EXPECT_EQ(S.SnapshotReadsFromChain, 0u);
+  // Nothing was enlisted: there is no read log to validate.
+  EXPECT_EQ(S.ReadLogAppends, 0u);
+}
+
+TEST(Mvcc, SnapshotSeesBeginStampStateAcrossWriterCommit) {
+  if (!TxManager::mvccEnabled())
+    GTEST_SKIP() << "built with OTM_MVCC=0";
+  Counter X, Y;
+  Stm::atomic([&](TxManager &Tx) {
+    Tx.write(&X, &Counter::Value, int64_t{100});
+    Tx.write(&Y, &Counter::Value, int64_t{200});
+  });
+  resetStats();
+
+  // Monotonic flags: a restarted body re-raises ReaderReady (idempotent)
+  // and sails through an already-raised WriterDone.
+  std::atomic<bool> ReaderReady{false}, WriterDone{false};
+  int64_t Rx = -1, Ry = -1;
+  std::thread Reader([&] {
+    Stm::atomicReadOnly([&](TxManager &Tx) {
+      Rx = Tx.read(&X, &Counter::Value);
+      ReaderReady.store(true, std::memory_order_release);
+      if (!spinUntil([&] { return WriterDone.load(std::memory_order_acquire); }))
+        return;
+      Ry = Tx.read(&Y, &Counter::Value);
+    });
+    TxManager::current().flushStats();
+  });
+
+  ASSERT_TRUE(spinUntil([&] { return ReaderReady.load(std::memory_order_acquire); }));
+  Stm::atomic([&](TxManager &Tx) {
+    Tx.write(&X, &Counter::Value, int64_t{101});
+    Tx.write(&Y, &Counter::Value, int64_t{201});
+  });
+  WriterDone.store(true, std::memory_order_release);
+  Reader.join();
+
+  // The reader's stamp predates the writer's commit: Y resolves to its
+  // pre-image from the version chain even though the in-place value moved.
+  EXPECT_EQ(Rx, 100);
+  EXPECT_EQ(Ry, 200);
+  TxStats S = statsNow();
+  EXPECT_EQ(S.SnapshotCommits, 1u);
+  EXPECT_EQ(S.Aborts, 0u);
+  EXPECT_EQ(S.SnapshotRefreshes, 0u);
+  EXPECT_GE(S.SnapshotReadsFromChain, 1u);
+
+  // A reader that begins after the commit sees the new state in place.
+  int64_t Fx = -1, Fy = -1;
+  Stm::atomicReadOnly([&](TxManager &Tx) {
+    Fx = Tx.read(&X, &Counter::Value);
+    Fy = Tx.read(&Y, &Counter::Value);
+  });
+  EXPECT_EQ(Fx, 101);
+  EXPECT_EQ(Fy, 201);
+}
+
+TEST(Mvcc, DynamicUpgradeRestartsAsWriterWithoutCountingAnAbort) {
+  if (!TxManager::mvccEnabled())
+    GTEST_SKIP() << "built with OTM_MVCC=0";
+  Counter C;
+  resetStats();
+  int Attempts = 0;
+  bool FirstAttemptSnapshot = false, SecondAttemptSnapshot = true;
+  Stm::atomicReadOnly([&](TxManager &Tx) {
+    ++Attempts;
+    if (Attempts == 1)
+      FirstAttemptSnapshot = Tx.inSnapshotMode();
+    else
+      SecondAttemptSnapshot = Tx.inSnapshotMode();
+    int64_t V = Tx.read(&C, &Counter::Value);
+    Tx.write(&C, &Counter::Value, V + 1); // not read-only after all
+  });
+  EXPECT_EQ(Attempts, 2);
+  EXPECT_TRUE(FirstAttemptSnapshot);
+  EXPECT_FALSE(SecondAttemptSnapshot);
+  EXPECT_EQ(C.Value.load(), 1);
+  TxStats S = statsNow();
+  EXPECT_EQ(S.SnapshotUpgrades, 1u);
+  EXPECT_EQ(S.Commits, 1u);
+  EXPECT_EQ(S.SnapshotCommits, 0u); // committed as a writer
+  EXPECT_EQ(S.Aborts, 0u);          // the upgrade is a restart, not an abort
+
+  // The upgrade latch is per-transaction: the next read-only transaction
+  // runs on the snapshot path again.
+  Stm::atomicReadOnly(
+      [&](TxManager &Tx) { EXPECT_TRUE(Tx.inSnapshotMode()); });
+  TxStats S2 = statsNow();
+  EXPECT_EQ(S2.SnapshotCommits, 1u);
+}
+
+TEST(Mvcc, ChainTruncatesAtConfiguredDepth) {
+  if (!TxManager::mvccEnabled())
+    GTEST_SKIP() << "built with OTM_MVCC=0";
+  ConfigGuard Guard;
+  TxManager::config().MvVersions = 3;
+  Counter C;
+  resetStats();
+  for (int I = 0; I < 8; ++I)
+    Stm::atomic([&](TxManager &Tx) {
+      Tx.write(&C, &Counter::Value, int64_t{I});
+    });
+  EXPECT_EQ(C.historyDepthForTesting(), 3u);
+  TxStats S = statsNow();
+  EXPECT_EQ(S.MvVersionsInstalled, 8u);
+  EXPECT_EQ(S.MvVersionsRetired, 5u);
+}
+
+TEST(Mvcc, TruncatedChainRefreshesInsteadOfServingTooNewState) {
+  if (!TxManager::mvccEnabled())
+    GTEST_SKIP() << "built with OTM_MVCC=0";
+  ConfigGuard Guard;
+  TxManager::config().MvVersions = 1; // keep only the newest pre-image
+  Counter C;
+  Stm::atomic([&](TxManager &Tx) { Tx.write(&C, &Counter::Value, int64_t{1}); });
+  resetStats();
+
+  // Monotonic flags: the refresh restart re-runs the body, which re-raises
+  // ReaderReady (idempotent) and passes straight through WriterDone.
+  std::atomic<bool> ReaderReady{false}, WriterDone{false};
+  int64_t First = -1, Second = -1;
+  std::thread Reader([&] {
+    Stm::atomicReadOnly([&](TxManager &Tx) {
+      int64_t V = Tx.read(&C, &Counter::Value);
+      ReaderReady.store(true, std::memory_order_release);
+      if (!spinUntil([&] { return WriterDone.load(std::memory_order_acquire); }))
+        return;
+      // Two commits landed since our stamp and the chain holds only the
+      // newest pre-image: the walk cannot reach our snapshot, so the
+      // attempt restarts on a fresh stamp (observable as a refresh) and
+      // both reads then agree on the final state.
+      int64_t W = Tx.read(&C, &Counter::Value);
+      First = V;
+      Second = W;
+    });
+    TxManager::current().flushStats();
+  });
+
+  ASSERT_TRUE(spinUntil([&] { return ReaderReady.load(std::memory_order_acquire); }));
+  Stm::atomic([&](TxManager &Tx) { Tx.write(&C, &Counter::Value, int64_t{2}); });
+  Stm::atomic([&](TxManager &Tx) { Tx.write(&C, &Counter::Value, int64_t{3}); });
+  WriterDone.store(true, std::memory_order_release);
+  Reader.join();
+
+  // Whatever stamp the final (committed) attempt ran on, its two reads
+  // must be mutually consistent — and after the refresh that stamp covers
+  // both commits.
+  EXPECT_EQ(First, 3);
+  EXPECT_EQ(Second, 3);
+  TxStats S = statsNow();
+  EXPECT_GE(S.SnapshotRefreshes, 1u);
+  EXPECT_EQ(S.SnapshotCommits, 1u);
+  EXPECT_EQ(S.Aborts, 0u); // refreshes are restarts, never aborts
+}
+
+TEST(Mvcc, VersionsAreReclaimedThroughTheEpochManager) {
+  if (!TxManager::mvccEnabled())
+    GTEST_SKIP() << "built with OTM_MVCC=0";
+  ConfigGuard Guard;
+  TxManager::config().MvVersions = 2;
+  resetStats();
+  gc::EpochManager &EM = gc::EpochManager::global();
+  EM.drainForTesting();
+  const uint64_t Freed0 = EM.freedCount();
+
+  // Churn: objects come and go while their chains grow and truncate.
+  for (int Round = 0; Round < 10; ++Round) {
+    auto *Obj = new Counter();
+    for (int I = 0; I < 6; ++I)
+      Stm::atomic([&](TxManager &Tx) {
+        Tx.write(Obj, &Counter::Value, int64_t{I});
+      });
+    EXPECT_EQ(Obj->historyDepthForTesting(), 2u);
+    delete Obj; // releaseHistory: drops the chain, epoch-retires records
+  }
+  TxStats S = statsNow();
+  EXPECT_EQ(S.MvVersionsInstalled, 60u);
+  EXPECT_EQ(S.MvVersionsRetired, 40u); // 4 truncated per object, 10 objects
+  EM.drainForTesting();
+  // Every truncated node+record and every destructor-retired record is
+  // actually freed once the epochs drain.
+  EXPECT_GE(EM.freedCount() - Freed0, 40u);
+}
+
+TEST(Mvcc, SnapshotReadersRunWhileSerialGateIsHeld) {
+  if (!TxManager::mvccEnabled())
+    GTEST_SKIP() << "built with OTM_MVCC=0";
+  Counter C;
+  Stm::atomic([&](TxManager &Tx) { Tx.write(&C, &Counter::Value, int64_t{5}); });
+  resetStats();
+
+  txn::SerialGate &Gate = txn::SerialGate::instance();
+  txn::SerialGate::Slot &Slot = Gate.slotForCurrentThread();
+  Gate.enterExclusive(Slot);
+  ASSERT_TRUE(Gate.exclusiveActive());
+
+  // A zero-conflict snapshot reader must not stall behind the drain: it
+  // owns nothing, writes nothing, and pins its epoch independently.
+  auto ReaderDone = std::async(std::launch::async, [&] {
+    int64_t Sum = 0;
+    for (int I = 0; I < 100; ++I)
+      Stm::atomicReadOnly(
+          [&](TxManager &Tx) { Sum += Tx.read(&C, &Counter::Value); });
+    TxManager::current().flushStats();
+    return Sum;
+  });
+  auto Status = ReaderDone.wait_for(std::chrono::seconds(10));
+  Gate.exitExclusive();
+  ASSERT_EQ(Status, std::future_status::ready)
+      << "snapshot readers stalled behind the serial gate";
+  EXPECT_EQ(ReaderDone.get(), 500);
+  TxStats S = statsNow();
+  EXPECT_EQ(S.SnapshotCommits, 100u);
+  EXPECT_EQ(S.Aborts, 0u);
+}
+
+TEST(Mvcc, TxGlobalReadsResolveAgainstTheSnapshot) {
+  if (!TxManager::mvccEnabled())
+    GTEST_SKIP() << "built with OTM_MVCC=0";
+  TxGlobal<int64_t> G(41);
+  Stm::atomic([&](TxManager &Tx) { G.set(Tx, 42); });
+  resetStats();
+  int64_t Got = -1;
+  Stm::atomicReadOnly([&](TxManager &Tx) { Got = G.get(Tx); });
+  EXPECT_EQ(Got, 42);
+  TxStats S = statsNow();
+  EXPECT_EQ(S.SnapshotCommits, 1u);
+  EXPECT_EQ(S.SnapshotReads, 1u);
+}
+
+TEST(Mvcc, SnapshotSumsStayConsistentUnderWriterChurn) {
+  if (!TxManager::mvccEnabled())
+    GTEST_SKIP() << "built with OTM_MVCC=0";
+  constexpr int NumAccounts = 8;
+  constexpr int64_t Initial = 1000;
+  constexpr int TransfersPerWriter = 2000;
+  constexpr int ReadsPerReader = 400;
+  constexpr int NumWriters = 2, NumReaders = 2;
+
+  std::vector<std::unique_ptr<Account>> Accounts;
+  for (int I = 0; I < NumAccounts; ++I) {
+    Accounts.push_back(std::make_unique<Account>());
+    Accounts.back()->Balance.store(Initial);
+  }
+  resetStats();
+
+  ThreadBarrier Start(NumWriters + NumReaders);
+  std::atomic<int> BadSums{0};
+  std::vector<std::thread> Threads;
+  for (int W = 0; W < NumWriters; ++W)
+    Threads.emplace_back([&, W] {
+      Xoshiro256 Rng(4242 + W);
+      Start.arriveAndWait();
+      for (int I = 0; I < TransfersPerWriter; ++I) {
+        Account *From = Accounts[Rng.nextBelow(NumAccounts)].get();
+        Account *To = Accounts[Rng.nextBelow(NumAccounts)].get();
+        Stm::atomic([&](TxManager &Tx) {
+          int64_t Amount = 1 + int64_t(Rng.nextBelow(5));
+          Tx.write(From, &Account::Balance,
+                   Tx.read(From, &Account::Balance) - Amount);
+          Tx.write(To, &Account::Balance,
+                   Tx.read(To, &Account::Balance) + Amount);
+        });
+      }
+      TxManager::current().flushStats();
+    });
+  for (int R = 0; R < NumReaders; ++R)
+    Threads.emplace_back([&] {
+      Start.arriveAndWait();
+      for (int I = 0; I < ReadsPerReader; ++I) {
+        int64_t Sum = 0;
+        Stm::atomicReadOnly([&](TxManager &Tx) {
+          Sum = 0; // body may restart on a refresh
+          for (auto &A : Accounts)
+            Sum += Tx.read(A.get(), &Account::Balance);
+        });
+        if (Sum != NumAccounts * Initial)
+          BadSums.fetch_add(1, std::memory_order_relaxed);
+      }
+      TxManager::current().flushStats();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Transfers preserve the total; any reader observing a different sum saw
+  // a torn (non-snapshot) state.
+  EXPECT_EQ(BadSums.load(), 0);
+  int64_t FinalSum = 0;
+  for (auto &A : Accounts)
+    FinalSum += A->Balance.load();
+  EXPECT_EQ(FinalSum, NumAccounts * Initial);
+  TxStats S = statsNow();
+  // Every read-only transaction committed on the never-abort path, exactly
+  // once, no matter how many refresh restarts the churn forced.
+  EXPECT_EQ(S.SnapshotCommits, uint64_t(NumReaders) * ReadsPerReader);
+}
+
+TEST(Mvcc, SchemaStaysCompleteWhenCompiledOut) {
+  // Runs in every build: the MVCC counters exist (and stay zero when the
+  // tier is off), so BENCH json and telemetry schemas never fork.
+  TxStats S = statsNow();
+  if (!TxManager::mvccEnabled()) {
+    EXPECT_EQ(S.SnapshotCommits, 0u);
+    EXPECT_EQ(S.MvVersionsInstalled, 0u);
+    Counter C;
+    EXPECT_EQ(C.historyDepthForTesting(), 0u);
+    int64_t Got = -1;
+    // atomicReadOnly degrades to the validate path and still works.
+    Stm::atomicReadOnly([&](TxManager &Tx) {
+      EXPECT_FALSE(Tx.inSnapshotMode());
+      Got = Tx.read(&C, &Counter::Value);
+    });
+    EXPECT_EQ(Got, 0);
+  }
+  SUCCEED();
+}

@@ -55,6 +55,14 @@ def render(rec, out):
                  f"validation {fmt_count(rate('AbortsOnValidation'))}  "
                  f"user {fmt_count(rate('AbortsByUser'))}")
 
+    mv_t = totals.get("mvcc", {})
+    mv_d = deltas.get("mvcc", {})
+    if mv_t.get("enabled"):
+        lines.append(f"mvcc     snap commit/s "
+                     f"{fmt_count(mv_d.get('snapshot_commits', 0) / interval_s)}"
+                     f"   live versions {fmt_count(mv_t.get('versions_live', 0))}"
+                     f"   retired {fmt_count(mv_t.get('versions_retired', 0))}")
+
     lat = stm_t.get("commit_latency", {})
     if lat.get("count"):
         lines.append(f"commit latency (cycles)   "
