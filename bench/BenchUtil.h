@@ -145,6 +145,7 @@ public:
     Reporter.addSection("stm", stm::statsToJson(Global));
     Reporter.addSection("phases", stm::phaseBreakdownToJson(Global));
     Reporter.addSection("mvcc", stm::mvccStatsToJson(Global));
+    Reporter.addSection("boost", stm::boostStatsToJson(Global));
     Reporter.addSection("abort_sites", stm::abortSitesToJson());
     Reporter.addSection("pass_stats", obs::Statistic::allToJson());
     obs::JsonValue Cm = txn::cmStatsToJson(txn::CmStats::instance().snapshot());

@@ -1,0 +1,235 @@
+//===- bench/e10_boosting.cpp - E10: semantic vs structural conflicts -----===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// E10 (boosting A/B): write-heavy Zipf-skewed point operations on the
+// transactional HashMap and SkipList, comparing the two conflict-detection
+// disciplines side by side:
+//
+//   - mode=obj-opt: the optimized object STM (ObjStmOptPolicy) — conflicts
+//     are structural: two transactions collide whenever their footprints
+//     share a bucket head, a chain node, or a skip-list tower, even when
+//     they touch different keys;
+//   - mode=boosted: transactional boosting (BoostedPolicy, DESIGN.md
+//     section 3.10) — conflicts are semantic: abstract (container, key)
+//     locks make transactions collide only on the same key.
+//
+// The skip list is the worst structural false-conflict case (every descent
+// reads the high towers near the head), the hash map the mildest (one
+// bucket chain per op); together they bracket the win. The grid sweeps
+// thread count per structure and mode. The headline: at 8 threads the
+// boosted rows collapse the abort rate (false conflicts vanish) at equal
+// or better throughput.
+//
+// Determinism: op kind and key come from fixed per-thread seeds, and every
+// operation is one transaction that commits exactly once (retries are
+// absorbed), so ops/commits are exact run to run. Abort counts, boost
+// lock waits, and the final container size depend on interleaving and are
+// emitted under nd_-prefixed keys, which the bench_diff count gate skips.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "containers/HashMap.h"
+#include "containers/SkipList.h"
+#include "stm/Stm.h"
+#include "support/Random.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace otm;
+using namespace otm::bench;
+using namespace otm::containers;
+
+namespace {
+
+const int OpsPerThread = static_cast<int>(scaled(20000, 400));
+constexpr unsigned KeySpace = 4096;
+constexpr double ZipfSkew = 0.99;
+constexpr unsigned InsertPercent = 40; // then 40% erase, 20% lookup
+
+/// The containers close over their own op signatures; the driver only needs
+/// the three point operations.
+struct Ops {
+  std::function<void(int64_t, int64_t)> Insert;
+  std::function<void(int64_t)> Erase;
+  std::function<bool(int64_t, int64_t &)> Lookup;
+  std::function<std::size_t()> Size;
+  std::function<bool()> Check;
+};
+
+template <typename ContainerType> Ops opsFor(ContainerType &C) {
+  return {[&C](int64_t K, int64_t V) { C.insert(K, V); },
+          [&C](int64_t K) { C.erase(K); },
+          [&C](int64_t K, int64_t &V) { return C.lookup(K, V); },
+          [&C] { return C.sizeSlow(); },
+          [&C] { return C.checkInvariantsSlow(); }};
+}
+
+// HashMap has no checkInvariantsSlow; placement is its invariant.
+template <typename Policy> Ops opsFor(HashMap<Policy> &C) {
+  return {[&C](int64_t K, int64_t V) { C.insert(K, V); },
+          [&C](int64_t K) { C.erase(K); },
+          [&C](int64_t K, int64_t &V) { return C.lookup(K, V); },
+          [&C] { return C.sizeSlow(); },
+          [&C] { return C.checkPlacementSlow(); }};
+}
+
+/// Abort-rate bookkeeping for the end-of-run headline comparison.
+struct Headline {
+  double AbortsPerKCommit = 0;
+  double Ktps = 0;
+};
+
+/// One grid cell: \p NumThreads threads hammering \p Container with the
+/// write-heavy Zipf mix. The container arrives prepopulated (half the
+/// keyspace) and its construction traffic is outside the stats capture.
+Headline runCell(const char *Struct, const char *Mode, unsigned NumThreads,
+                 const Ops &C, BenchReport &Report) {
+  std::vector<int64_t> Sink(NumThreads, 0);
+  StatsCapture Capture;
+  double Seconds = runThreads(NumThreads, [&](unsigned T) {
+    // Separate generators for op kind and keys: the kind stream stays
+    // deterministic regardless of how many key draws each op makes.
+    Xoshiro256 Kind(10100 + T);
+    ZipfGenerator Keys(KeySpace, ZipfSkew, 10200 + T);
+    int64_t Local = 0;
+    for (int I = 0; I < OpsPerThread; ++I) {
+      auto Key = static_cast<int64_t>(Keys.next());
+      unsigned Roll = static_cast<unsigned>(Kind.nextBelow(100));
+      if (Roll < InsertPercent) {
+        C.Insert(Key, Key * 2 + 1);
+      } else if (Roll < 2 * InsertPercent) {
+        C.Erase(Key);
+      } else {
+        int64_t V = 0;
+        if (C.Lookup(Key, V))
+          Local += V;
+      }
+    }
+    Sink[T] = Local;
+  });
+
+  stm::TxStats S = Capture.finish();
+  const uint64_t TotalOps = uint64_t(NumThreads) * uint64_t(OpsPerThread);
+  double Ktps = double(TotalOps) / Seconds / 1e3;
+  double AbortsPerK = S.Commits ? 1e3 * double(S.Aborts) / double(S.Commits) : 0;
+  std::printf("%-9s %-8s %7u %10.1f %11llu %9llu %10.1f %11llu %10llu\n",
+              Struct, Mode, NumThreads, Ktps,
+              static_cast<unsigned long long>(S.Commits),
+              static_cast<unsigned long long>(S.Aborts), AbortsPerK,
+              static_cast<unsigned long long>(S.BoostLockAcquires),
+              static_cast<unsigned long long>(S.BoostLockWaits));
+  if (!C.Check())
+    std::printf("INVARIANT FAILURE: %s/%s at %u threads\n", Struct, Mode,
+                NumThreads);
+
+  obs::JsonValue Run = obs::JsonValue::object();
+  Run.set("label", std::string(Struct) + "/" + Mode +
+                       "/threads=" + std::to_string(NumThreads));
+  Run.set("structure", Struct);
+  Run.set("mode", Mode);
+  Run.set("threads", uint64_t(NumThreads));
+  // Deterministic counts (fixed seeds; retried attempts commit exactly once).
+  Run.set("ops", TotalOps);
+  Run.set("commits", S.Commits);
+  // Timing (skipped by the count gate via the _per_sec/_percent suffixes).
+  Run.set("ktx_per_sec", Ktps);
+  Run.set("abort_percent", S.Commits ? 100.0 * double(S.Aborts) /
+                                           double(S.Commits + S.Aborts)
+                                     : 0.0);
+  // Interleaving-dependent counts (nd_ prefix: skipped by the count gate).
+  int64_t SinkTotal = 0;
+  for (int64_t V : Sink)
+    SinkTotal += V;
+  Run.set("nd_lookup_sink", static_cast<uint64_t>(SinkTotal));
+  Run.set("nd_aborts", S.Aborts);
+  Run.set("nd_aborts_on_conflict", S.AbortsOnConflict);
+  Run.set("nd_aborts_on_validation", S.AbortsOnValidation);
+  Run.set("nd_boost_lock_acquires", S.BoostLockAcquires);
+  Run.set("nd_boost_lock_waits", S.BoostLockWaits);
+  Run.set("nd_boost_undo_ops", S.BoostUndoOps);
+  Run.set("nd_boost_structural_fallbacks", S.BoostStructuralFallbacks);
+  Run.set("nd_size", static_cast<uint64_t>(C.Size()));
+  Report.addRun(std::move(Run));
+  return {AbortsPerK, Ktps};
+}
+
+/// Builds a fresh, half-populated container and runs one cell on it.
+template <typename ContainerType, typename... CtorArgs>
+Headline runStruct(const char *Struct, const char *Mode, unsigned NumThreads,
+                   BenchReport &Report, CtorArgs &&...Args) {
+  auto Container =
+      std::make_unique<ContainerType>(std::forward<CtorArgs>(Args)...);
+  for (unsigned K = 0; K < KeySpace; K += 2)
+    Container->insert(static_cast<int64_t>(K), static_cast<int64_t>(K) * 2 + 1);
+  // Flush the prepopulation transactions out of this thread's local stats
+  // block now, so the cell's StatsCapture reset discards them (otherwise
+  // the capture's finish() would sweep them into the cell's commit count).
+  stm::TxManager::current().flushStats();
+  Ops C = opsFor(*Container);
+  return runCell(Struct, Mode, NumThreads, C, Report);
+}
+
+} // namespace
+
+int main() {
+  BenchReport Report("e10_boosting", "E10");
+  std::printf("E10: write-heavy Zipf point ops (keyspace=%u, skew=%.2f, "
+              "%u%%/%u%%/%u%% insert/erase/lookup), boosted vs obj-opt\n",
+              KeySpace, ZipfSkew, InsertPercent, InsertPercent,
+              100 - 2 * InsertPercent);
+  if (!stm::TxManager::boostEnabled())
+    std::printf("NOTE: built with OTM_BOOST=0 — mode=boosted falls back to "
+                "the optimized object-STM path (abort rates match obj-opt)\n");
+  printHeaderRule();
+  std::printf("%-9s %-8s %7s %10s %11s %9s %10s %11s %10s\n", "struct", "mode",
+              "threads", "Kops/s", "commits", "aborts", "ab/Kcommit",
+              "boost_acq", "boost_wait");
+  printHeaderRule();
+  Headline AtMax[2][2]; // [struct][mode], at the highest thread count
+  const unsigned MaxThreads = 8;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    Headline H;
+    H = runStruct<HashMap<ObjStmOptPolicy>>("hashmap", "obj-opt", Threads,
+                                            Report, std::size_t(1024));
+    if (Threads == MaxThreads)
+      AtMax[0][0] = H;
+    H = runStruct<HashMap<BoostedPolicy>>("hashmap", "boosted", Threads,
+                                          Report, std::size_t(1024));
+    if (Threads == MaxThreads)
+      AtMax[0][1] = H;
+    H = runStruct<SkipList<ObjStmOptPolicy>>("skiplist", "obj-opt", Threads,
+                                             Report);
+    if (Threads == MaxThreads)
+      AtMax[1][0] = H;
+    H = runStruct<SkipList<BoostedPolicy>>("skiplist", "boosted", Threads,
+                                           Report);
+    if (Threads == MaxThreads)
+      AtMax[1][1] = H;
+  }
+  printHeaderRule();
+  const char *Structs[2] = {"hashmap", "skiplist"};
+  for (int I = 0; I < 2; ++I) {
+    double Reduction = AtMax[I][1].AbortsPerKCommit > 0
+                           ? AtMax[I][0].AbortsPerKCommit /
+                                 AtMax[I][1].AbortsPerKCommit
+                           : 0;
+    std::printf("headline %-9s @%u threads: abort rate %.1f -> %.1f per "
+                "Kcommit (%.0fx lower), throughput %.0f -> %.0f Kops/s\n",
+                Structs[I], MaxThreads, AtMax[I][0].AbortsPerKCommit,
+                AtMax[I][1].AbortsPerKCommit, Reduction, AtMax[I][0].Ktps,
+                AtMax[I][1].Ktps);
+  }
+  std::printf("expected shape: obj-opt abort rates climb with threads (bucket "
+              "chains and skip towers make disjoint keys collide), boosted "
+              "rows conflict only on true key overlap — the Zipf head — so "
+              "their abort rate stays near zero and throughput holds.\n");
+  Report.write();
+  return 0;
+}

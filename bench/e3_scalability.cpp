@@ -82,8 +82,8 @@ int main() {
               "%d keys, host cores: %u\n",
               UpdatePercent, KeySpace, Cores);
   printHeaderRule();
-  std::printf("%8s %12s %12s %12s %14s %12s %18s\n", "threads", "coarse",
-              "fine-lock", "word-stm", "obj-naive", "obj-opt",
+  std::printf("%8s %12s %12s %12s %14s %12s %12s %18s\n", "threads", "coarse",
+              "fine-lock", "word-stm", "obj-naive", "obj-opt", "boosted",
               "opt aborts/starts");
   printHeaderRule();
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
@@ -96,15 +96,16 @@ int main() {
     double Naive = runStmConfig<ObjStmNaivePolicy>(Threads, Ignored);
     stm::TxStats OptStats;
     double Opt = runStmConfig<ObjStmOptPolicy>(Threads, OptStats);
-    std::printf("%8u %12.2f %12.2f %12.2f %14.2f %12.2f %11llu/%-8llu\n",
-                Threads, Coarse, Fine, Word, Naive, Opt,
+    double Boosted = runStmConfig<BoostedPolicy>(Threads, Ignored);
+    std::printf("%8u %12.2f %12.2f %12.2f %14.2f %12.2f %12.2f %11llu/%-8llu\n",
+                Threads, Coarse, Fine, Word, Naive, Opt, Boosted,
                 static_cast<unsigned long long>(OptStats.Aborts),
                 static_cast<unsigned long long>(OptStats.Starts));
     struct {
       const char *Config;
       double Mops;
     } Rows[] = {{"coarse", Coarse}, {"fine-lock", Fine}, {"word-stm", Word},
-                {"obj-naive", Naive}, {"obj-opt", Opt}};
+                {"obj-naive", Naive}, {"obj-opt", Opt}, {"boosted", Boosted}};
     for (auto &R : Rows) {
       obs::JsonValue Run = obs::JsonValue::object();
       Run.set("label",

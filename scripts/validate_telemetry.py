@@ -38,6 +38,12 @@ MVCC_KEYS = ("enabled", "snapshot_commits", "snapshot_upgrades",
              "versions_installed", "versions_retired", "versions_live",
              "chain_depth")
 
+# Same contract for the "boost" source (transactional boosting, DESIGN.md
+# section 3.10): keys exist with value 0 in OTM_BOOST=0 builds.
+BOOST_KEYS = ("enabled", "lock_acquires", "lock_waits", "commit_ops",
+              "undo_ops", "structural_fallbacks", "lock_table_held",
+              "lock_table_capacity")
+
 
 def check_deltas_nonnegative(node, path, errors):
     if isinstance(node, dict):
@@ -101,6 +107,16 @@ def validate_file(path):
                         for key in MVCC_KEYS:
                             if key not in mvcc:
                                 errors.append(f"line {lineno}: totals.mvcc "
+                                              f"missing key {key!r}")
+                if isinstance(totals, dict) and "boost" in totals:
+                    boost = totals["boost"]
+                    if not isinstance(boost, dict):
+                        errors.append(f"line {lineno}: totals.boost is not "
+                                      f"an object")
+                    else:
+                        for key in BOOST_KEYS:
+                            if key not in boost:
+                                errors.append(f"line {lineno}: totals.boost "
                                               f"missing key {key!r}")
                 records += 1
     except OSError as err:

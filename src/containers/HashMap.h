@@ -14,6 +14,13 @@
 /// array-granularity conflicts; we follow the common idiom of one head
 /// object per bucket).
 ///
+/// Under a boosted policy (Policy::Boosted, DESIGN.md §3.10) the public
+/// operations route through boosted wrappers instead: acquire the abstract
+/// (container, key) lock, apply the same structural core under the short
+/// base lock, and register the semantic inverse as the abort action. Two
+/// transactions then conflict only when they touch the same key — never on
+/// a shared bucket head.
+///
 /// The table does not rehash: capacity is fixed at construction, as in the
 /// paper's benchmark configuration.
 ///
@@ -66,78 +73,58 @@ public:
 
   /// Inserts or updates; returns true if the key was newly inserted.
   bool insert(int64_t Key, int64_t Value) {
-    Bucket *B = bucketFor(Key);
     bool Inserted = false;
     Policy::run([&](Ctx &C) {
-      Policy::openRead(C, B);
-      Node *Head = Policy::load(C, B, B->Head);
-      for (Node *N = Head; N; N = Policy::load(C, N, N->Next)) {
-        Policy::openRead(C, N);
-        if (Policy::load(C, N, N->Key) == Key) {
-          Policy::openWrite(C, N);
-          Policy::store(C, N, N->Value, Value);
-          Inserted = false;
-          return;
+      if constexpr (kBoostedPolicy<Policy>) {
+        C.boostAcquireKey(BoostId, static_cast<uint64_t>(Key));
+        int64_t Displaced = 0;
+        {
+          std::lock_guard<std::mutex> Guard(BaseLock);
+          Inserted = insertCore(C, Key, Value, &Displaced);
         }
+        if (Inserted)
+          C.onAbort([this, Key] { undoInsert(Key); });
+        else
+          C.onAbort([this, Key, Displaced] { undoUpdate(Key, Displaced); });
+      } else {
+        Inserted = insertCore(C, Key, Value, nullptr);
       }
-      Node *Fresh = Policy::template create<Node>(C);
-      Policy::initStore(C, Fresh, Fresh->Key, Key);
-      Policy::initStore(C, Fresh, Fresh->Value, Value);
-      Policy::initStore(C, Fresh, Fresh->Next, Head);
-      Policy::openWrite(C, B);
-      Policy::store(C, B, B->Head, Fresh);
-      Inserted = true;
     });
     return Inserted;
   }
 
   /// Removes \p Key; returns true if it was present.
   bool erase(int64_t Key) {
-    Bucket *B = bucketFor(Key);
     bool Erased = false;
     Policy::run([&](Ctx &C) {
-      Erased = false;
-      Policy::openRead(C, B);
-      Node *Cur = Policy::load(C, B, B->Head);
-      Node *Prev = nullptr;
-      while (Cur) {
-        Policy::openRead(C, Cur);
-        if (Policy::load(C, Cur, Cur->Key) == Key)
-          break;
-        Prev = Cur;
-        Cur = Policy::load(C, Cur, Cur->Next);
-      }
-      if (!Cur)
-        return;
-      Node *After = Policy::load(C, Cur, Cur->Next);
-      if (Prev) {
-        Policy::openWrite(C, Prev);
-        Policy::store(C, Prev, Prev->Next, After);
+      if constexpr (kBoostedPolicy<Policy>) {
+        C.boostAcquireKey(BoostId, static_cast<uint64_t>(Key));
+        int64_t Displaced = 0;
+        {
+          std::lock_guard<std::mutex> Guard(BaseLock);
+          Erased = eraseCore(C, Key, &Displaced);
+        }
+        if (Erased)
+          C.onAbort([this, Key, Displaced] { undoErase(Key, Displaced); });
       } else {
-        Policy::openWrite(C, B);
-        Policy::store(C, B, B->Head, After);
+        Erased = eraseCore(C, Key, nullptr);
       }
-      Policy::destroy(C, Cur);
-      Erased = true;
     });
     return Erased;
   }
 
   /// Looks up \p Key; returns true and fills \p Value if present.
   bool lookup(int64_t Key, int64_t &Value) {
-    Bucket *B = bucketFor(Key);
     bool Found = false;
     Policy::run([&](Ctx &C) {
-      Found = false;
-      Policy::openRead(C, B);
-      for (Node *N = Policy::load(C, B, B->Head); N;
-           N = Policy::load(C, N, N->Next)) {
-        Policy::openRead(C, N);
-        if (Policy::load(C, N, N->Key) == Key) {
-          Value = Policy::load(C, N, N->Value);
-          Found = true;
-          return;
-        }
+      if constexpr (kBoostedPolicy<Policy>) {
+        // Exclusive abstract lock even for the read: the lock table does
+        // not distinguish modes, and a lookup's "inverse" is a no-op.
+        C.boostAcquireKey(BoostId, static_cast<uint64_t>(Key));
+        std::lock_guard<std::mutex> Guard(BaseLock);
+        Found = lookupCore(C, Key, Value);
+      } else {
+        Found = lookupCore(C, Key, Value);
       }
     });
     return Found;
@@ -169,6 +156,98 @@ public:
   }
 
 private:
+  /// The structural body shared by every policy. \p DisplacedOut (boosted
+  /// callers only — it must stay null elsewhere so no extra barrier
+  /// perturbs the non-boosted policies' deterministic counts) receives the
+  /// value an update overwrote.
+  bool insertCore(Ctx &C, int64_t Key, int64_t Value,
+                  int64_t *DisplacedOut) {
+    Bucket *B = bucketFor(Key);
+    Policy::openRead(C, B);
+    Node *Head = Policy::load(C, B, B->Head);
+    for (Node *N = Head; N; N = Policy::load(C, N, N->Next)) {
+      Policy::openRead(C, N);
+      if (Policy::load(C, N, N->Key) == Key) {
+        Policy::openWrite(C, N);
+        if (DisplacedOut)
+          *DisplacedOut = Policy::load(C, N, N->Value);
+        Policy::store(C, N, N->Value, Value);
+        return false;
+      }
+    }
+    Node *Fresh = Policy::template create<Node>(C);
+    Policy::initStore(C, Fresh, Fresh->Key, Key);
+    Policy::initStore(C, Fresh, Fresh->Value, Value);
+    Policy::initStore(C, Fresh, Fresh->Next, Head);
+    Policy::openWrite(C, B);
+    Policy::store(C, B, B->Head, Fresh);
+    return true;
+  }
+
+  bool eraseCore(Ctx &C, int64_t Key, int64_t *DisplacedOut) {
+    Bucket *B = bucketFor(Key);
+    Policy::openRead(C, B);
+    Node *Cur = Policy::load(C, B, B->Head);
+    Node *Prev = nullptr;
+    while (Cur) {
+      Policy::openRead(C, Cur);
+      if (Policy::load(C, Cur, Cur->Key) == Key)
+        break;
+      Prev = Cur;
+      Cur = Policy::load(C, Cur, Cur->Next);
+    }
+    if (!Cur)
+      return false;
+    if (DisplacedOut)
+      *DisplacedOut = Policy::load(C, Cur, Cur->Value);
+    Node *After = Policy::load(C, Cur, Cur->Next);
+    if (Prev) {
+      Policy::openWrite(C, Prev);
+      Policy::store(C, Prev, Prev->Next, After);
+    } else {
+      Policy::openWrite(C, B);
+      Policy::store(C, B, B->Head, After);
+    }
+    Policy::destroy(C, Cur);
+    return true;
+  }
+
+  bool lookupCore(Ctx &C, int64_t Key, int64_t &Value) {
+    Bucket *B = bucketFor(Key);
+    Policy::openRead(C, B);
+    for (Node *N = Policy::load(C, B, B->Head); N;
+         N = Policy::load(C, N, N->Next)) {
+      Policy::openRead(C, N);
+      if (Policy::load(C, N, N->Key) == Key) {
+        Value = Policy::load(C, N, N->Value);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Semantic inverses, run as abort handlers while the abstract key lock is
+  // still held. They operate by key, never through a retained node pointer
+  // (the node an operation touched may since have been unlinked by a later
+  // operation of the same transaction).
+  void undoInsert(int64_t Key) {
+    Ctx &C = stm::TxManager::current();
+    std::lock_guard<std::mutex> Guard(BaseLock);
+    eraseCore(C, Key, nullptr);
+  }
+
+  void undoUpdate(int64_t Key, int64_t OldValue) {
+    Ctx &C = stm::TxManager::current();
+    std::lock_guard<std::mutex> Guard(BaseLock);
+    insertCore(C, Key, OldValue, nullptr);
+  }
+
+  void undoErase(int64_t Key, int64_t OldValue) {
+    Ctx &C = stm::TxManager::current();
+    std::lock_guard<std::mutex> Guard(BaseLock);
+    insertCore(C, Key, OldValue, nullptr);
+  }
+
   static std::size_t roundUpPow2(std::size_t N) {
     std::size_t P = 1;
     while (P < N)
@@ -190,6 +269,11 @@ private:
 
   std::size_t NumBuckets;
   std::unique_ptr<Bucket[]> Buckets;
+
+  /// Boosting state; inert under non-boosted policies (the id costs one
+  /// relaxed fetch_add at construction).
+  const uint64_t BoostId = txn::AbstractLockTable::nextContainerId();
+  std::mutex BaseLock;
 };
 
 } // namespace containers

@@ -17,12 +17,18 @@
 ///     compiler output;
 ///   - ObjStmOptPolicy    — object STM with *optimized* placement: the
 ///     container calls openRead/openWrite once per object per region,
-///     exactly where the compiler passes (src/passes) leave the opens.
+///     exactly where the compiler passes (src/passes) leave the opens;
+///   - BoostedPolicy      — transactional boosting (DESIGN.md §3.10):
+///     conflicts are detected on abstract (container, key) locks instead of
+///     structure, operations apply via the sequential path under a short
+///     base lock, and aborts undo by semantic inverse (insert<->erase).
 ///
 /// A policy provides: node base class, field cell type, an execution
 /// context, `run` (the atomic block), region-level opens, per-access
 /// load/store, allocation hooks, and a checkpoint hook used to bound
-/// zombie execution in unbounded traversals.
+/// zombie execution in unbounded traversals. A boosted policy additionally
+/// sets `Boosted = true`, which routes the containers' public operations
+/// through their boosted wrappers (abstract lock, base lock, core, inverse).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +40,7 @@
 #include "wstm/WordStm.h"
 
 #include <mutex>
+#include <type_traits>
 #include <utility>
 
 namespace otm {
@@ -284,6 +291,125 @@ struct ObjStmOptPolicy {
 
   static void checkpoint(Ctx &Tx) { Tx.validateOrAbort(); }
 };
+
+//===----------------------------------------------------------------------===
+// Boosted policy — semantic conflict detection (DESIGN.md §3.10)
+//===----------------------------------------------------------------------===
+
+/// Transactional boosting. Isolation comes from abstract (container, key)
+/// locks held to commit (TxManager::boostAcquireKey), not from STM opens;
+/// physical atomicity of each operation comes from the container's short
+/// base lock. The per-access hooks are therefore direct: no read log, no
+/// undo log, no validation. Rollback is semantic — the containers register
+/// the inverse operation via Ctx::onAbort — and deletion is deferred to
+/// commit via Ctx::onCommit (an erase's node must reappear if the
+/// transaction aborts).
+///
+/// With -DOTM_BOOST=0 the tier is compiled out: Boosted turns false (so the
+/// containers' generic paths run) and the hooks degrade to the optimized
+/// object-STM placement, keeping every container correct and every
+/// deterministic count of the non-boosted experiments bit-identical.
+struct BoostedPolicy {
+  static constexpr const char *Name = "boosted";
+  static constexpr bool Boosted = stm::TxManager::boostEnabled();
+  using ObjBase = stm::TxObject;
+  template <typename T> using Cell = stm::Field<T>;
+  using Ctx = stm::TxManager;
+
+  template <typename FnType> static void run(FnType &&Fn) {
+    stm::Stm::atomic(std::forward<FnType>(Fn));
+  }
+
+#if OTM_BOOST
+  static void openRead(Ctx &, ObjBase *) {}
+  static void openWrite(Ctx &, ObjBase *) {}
+
+  template <typename ObjType, typename T>
+  static T load(Ctx &, ObjType *, Cell<T> &C) {
+    return C.load(); // covered by the abstract lock + base lock
+  }
+
+  template <typename ObjType, typename T>
+  static void store(Ctx &, ObjType *, Cell<T> &C, T Value) {
+    C.store(Value); // rollback is semantic, not value-level
+  }
+
+  /// Plain allocation (TxObject::operator new -> TxPool): cleanup on abort
+  /// is the registered semantic inverse, not an alloc-log walk.
+  template <typename T, typename... ArgTypes>
+  static T *create(Ctx &, ArgTypes &&...Args) {
+    return new T(std::forward<ArgTypes>(Args)...);
+  }
+
+  /// Unlinked nodes stay allocated until the outcome is known: commit
+  /// deletes them, abort deletes them too — but only after the semantic
+  /// re-insert (registered later, run earlier by LIFO) rebuilt the key from
+  /// fresh storage. Inside a running handler the outcome *is* known, so
+  /// destruction is immediate instead of re-entering the log being walked.
+  template <typename T> static void destroy(Ctx &Tx, T *Obj) {
+    if (Tx.runningDeferredActions()) {
+      delete Obj;
+      return;
+    }
+    Tx.onCommit([Obj] { delete Obj; });
+    Tx.onAbort([Obj] { delete Obj; });
+  }
+
+  template <typename ObjType, typename T>
+  static void initStore(Ctx &, ObjType *, Cell<T> &C, T Value) {
+    C.store(Value);
+  }
+
+  /// Boosted traversals hold the base lock or the structural gate, so they
+  /// never observe torn structure: no zombie windows to bound.
+  static void checkpoint(Ctx &) {}
+#else
+  // Kill-switch degradation: identical to ObjStmOptPolicy.
+  static void openRead(Ctx &Tx, ObjBase *Obj) { Tx.openForRead(Obj); }
+  static void openWrite(Ctx &Tx, ObjBase *Obj) { Tx.openForUpdate(Obj); }
+
+  template <typename ObjType, typename T>
+  static T load(Ctx &, ObjType *, Cell<T> &C) {
+    return C.load();
+  }
+
+  template <typename ObjType, typename T>
+  static void store(Ctx &Tx, ObjType *, Cell<T> &C, T Value) {
+    Tx.logUndo(&C);
+    C.store(Value);
+  }
+
+  template <typename T, typename... ArgTypes>
+  static T *create(Ctx &Tx, ArgTypes &&...Args) {
+    return Tx.allocInTx<T>(std::forward<ArgTypes>(Args)...);
+  }
+
+  template <typename T> static void destroy(Ctx &Tx, T *Obj) {
+    Tx.retireOnCommit(Obj);
+  }
+
+  template <typename ObjType, typename T>
+  static void initStore(Ctx &, ObjType *, Cell<T> &C, T Value) {
+    C.store(Value);
+  }
+
+  static void checkpoint(Ctx &Tx) { Tx.validateOrAbort(); }
+#endif
+};
+
+namespace detail {
+template <typename P, typename = void>
+struct PolicyIsBoosted : std::false_type {};
+template <typename P>
+struct PolicyIsBoosted<P, std::void_t<decltype(P::Boosted)>>
+    : std::bool_constant<P::Boosted> {};
+} // namespace detail
+
+/// True for policies whose Boosted flag is present and set — the containers
+/// branch on this (if constexpr) to route operations through the boosted
+/// wrappers.
+template <typename P>
+inline constexpr bool kBoostedPolicy = detail::PolicyIsBoosted<P>::value;
 
 } // namespace containers
 } // namespace otm

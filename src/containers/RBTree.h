@@ -19,6 +19,13 @@
 /// Under the naive policy the same code degenerates to one open per field
 /// access, which is exactly the comparison the experiments make.
 ///
+/// Under a boosted policy (DESIGN.md §3.10) point operations conflict on
+/// the abstract key instead of on the rebalancing path — rotations near
+/// the root are the tree's structural false-conflict hot spot. The CLRS
+/// insert/erase bodies run unchanged as the sequential path; the semantic
+/// inverse (erase the inserted key / re-insert the displaced pair) is
+/// registered as the abort action.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OTM_CONTAINERS_RBTREE_H
@@ -67,14 +74,42 @@ public:
   /// Inserts \p Key (or updates its value); returns true if newly added.
   bool insert(int64_t Key, int64_t Value) {
     bool Inserted = false;
-    Policy::run([&](Ctx &C) { Inserted = insertImpl(C, Key, Value); });
+    Policy::run([&](Ctx &C) {
+      if constexpr (kBoostedPolicy<Policy>) {
+        C.boostAcquireKey(BoostId, static_cast<uint64_t>(Key));
+        int64_t Displaced = 0;
+        {
+          std::lock_guard<std::mutex> Guard(BaseLock);
+          Inserted = insertImpl(C, Key, Value, &Displaced);
+        }
+        if (Inserted)
+          C.onAbort([this, Key] { undoInsert(Key); });
+        else
+          C.onAbort([this, Key, Displaced] { undoWrite(Key, Displaced); });
+      } else {
+        Inserted = insertImpl(C, Key, Value, nullptr);
+      }
+    });
     return Inserted;
   }
 
   /// Removes \p Key; returns true if it was present.
   bool erase(int64_t Key) {
     bool Erased = false;
-    Policy::run([&](Ctx &C) { Erased = eraseImpl(C, Key); });
+    Policy::run([&](Ctx &C) {
+      if constexpr (kBoostedPolicy<Policy>) {
+        C.boostAcquireKey(BoostId, static_cast<uint64_t>(Key));
+        int64_t Displaced = 0;
+        {
+          std::lock_guard<std::mutex> Guard(BaseLock);
+          Erased = eraseImpl(C, Key, &Displaced);
+        }
+        if (Erased)
+          C.onAbort([this, Key, Displaced] { undoWrite(Key, Displaced); });
+      } else {
+        Erased = eraseImpl(C, Key, nullptr);
+      }
+    });
     return Erased;
   }
 
@@ -82,12 +117,12 @@ public:
   bool lookup(int64_t Key, int64_t &Value) {
     bool Found = false;
     Policy::run([&](Ctx &C) {
-      Node *N = descend(C, Key);
-      if (N != &Nil) {
-        Value = Policy::load(C, N, N->Value);
-        Found = true;
+      if constexpr (kBoostedPolicy<Policy>) {
+        C.boostAcquireKey(BoostId, static_cast<uint64_t>(Key));
+        std::lock_guard<std::mutex> Guard(BaseLock);
+        Found = lookupCore(C, Key, Value);
       } else {
-        Found = false;
+        Found = lookupCore(C, Key, Value);
       }
     });
     return Found;
@@ -98,10 +133,14 @@ public:
     return lookup(Key, Ignored);
   }
 
-  /// Transactional in-order sum of values (long read-only transaction).
+  /// Transactional in-order sum of values (long read-only transaction). A
+  /// whole-container operation has no per-key conflict footprint, so the
+  /// boosted path falls back to the structural gate.
   int64_t sumValues() {
     int64_t Sum = 0;
     Policy::run([&](Ctx &C) {
+      if constexpr (kBoostedPolicy<Policy>)
+        C.boostAcquireStructural(BoostId);
       Sum = 0;
       sumSubtree(C, rootNode(C), Sum, 0);
     });
@@ -205,7 +244,10 @@ private:
     Policy::store(C, X, X->Parent, Y);
   }
 
-  bool insertImpl(Ctx &C, int64_t Key, int64_t Value) {
+  /// Structural body shared by every policy; \p DisplacedOut (boosted
+  /// callers only — null elsewhere so no extra barrier perturbs the
+  /// non-boosted deterministic counts) receives the overwritten value.
+  bool insertImpl(Ctx &C, int64_t Key, int64_t Value, int64_t *DisplacedOut) {
     // Descent phase (reads only).
     Node *Parent = &Nil;
     Node *Cur = rootNode(C);
@@ -215,6 +257,8 @@ private:
       int64_t CK = Policy::load(C, Cur, Cur->Key);
       if (CK == Key) {
         Policy::openWrite(C, Cur);
+        if (DisplacedOut)
+          *DisplacedOut = Policy::load(C, Cur, Cur->Value);
         Policy::store(C, Cur, Cur->Value, Value);
         return false;
       }
@@ -342,12 +386,14 @@ private:
     }
   }
 
-  bool eraseImpl(Ctx &C, int64_t Key) {
+  bool eraseImpl(Ctx &C, int64_t Key, int64_t *DisplacedOut) {
     Node *Z = descend(C, Key);
     if (Z == &Nil)
       return false;
 
     Policy::openRead(C, Z);
+    if (DisplacedOut)
+      *DisplacedOut = Policy::load(C, Z, Z->Value);
     Node *Y = Z;
     int64_t YColor = Policy::load(C, Z, Z->Color);
     Node *X = &Nil;
@@ -490,6 +536,34 @@ private:
     Policy::store(C, X, X->Color, Black);
   }
 
+  bool lookupCore(Ctx &C, int64_t Key, int64_t &Value) {
+    Node *N = descend(C, Key);
+    if (N == &Nil)
+      return false;
+    Value = Policy::load(C, N, N->Value);
+    return true;
+  }
+
+  // Semantic inverses (abort handlers; abstract key lock still held). They
+  // operate by key, never through a retained node pointer — erase-then-
+  // rebalance may have moved or unlinked the node the forward op touched.
+  void undoInsert(int64_t Key) {
+    Ctx &C = stm::TxManager::current();
+    std::lock_guard<std::mutex> Guard(BaseLock);
+    eraseImpl(C, Key, nullptr);
+  }
+
+  /// Restores \p Key to \p OldValue — the inverse of both an update (store
+  /// back the displaced value) and an erase (re-insert the displaced pair;
+  /// the tree shape may differ from the pre-erase shape, but red-black
+  /// invariants and the key→value map are restored, which is the semantic
+  /// contract).
+  void undoWrite(int64_t Key, int64_t OldValue) {
+    Ctx &C = stm::TxManager::current();
+    std::lock_guard<std::mutex> Guard(BaseLock);
+    insertImpl(C, Key, OldValue, nullptr);
+  }
+
   void sumSubtree(Ctx &C, Node *N, int64_t &Sum, unsigned Depth) {
     if (N == &Nil || Depth > 128)
       return;
@@ -544,6 +618,10 @@ private:
   } RootHolder;
   Cell<Node *> Root;
   Node Nil;
+
+  /// Boosting state; inert under non-boosted policies.
+  const uint64_t BoostId = txn::AbstractLockTable::nextContainerId();
+  std::mutex BaseLock;
 };
 
 } // namespace containers

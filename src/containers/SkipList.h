@@ -10,6 +10,11 @@
 /// key, so runs are reproducible and every policy builds the identical
 /// structure — only the barriers differ.
 ///
+/// Under a boosted policy (DESIGN.md §3.10) operations conflict on the
+/// abstract key instead of on every tower node the descent traverses — the
+/// skip list is the worst structural false-conflict case (every operation
+/// reads the high levels near the head).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OTM_CONTAINERS_SKIPLIST_H
@@ -54,30 +59,20 @@ public:
   bool insert(int64_t Key, int64_t Value) {
     bool Inserted = false;
     Policy::run([&](Ctx &C) {
-      Node *Preds[MaxLevel];
-      Node *Found = locate(C, Key, Preds);
-      if (Found) {
-        Policy::openWrite(C, Found);
-        Policy::store(C, Found, Found->Value, Value);
-        Inserted = false;
-        return;
+      if constexpr (kBoostedPolicy<Policy>) {
+        C.boostAcquireKey(BoostId, static_cast<uint64_t>(Key));
+        int64_t Displaced = 0;
+        {
+          std::lock_guard<std::mutex> Guard(BaseLock);
+          Inserted = insertCore(C, Key, Value, &Displaced);
+        }
+        if (Inserted)
+          C.onAbort([this, Key] { undoInsert(Key); });
+        else
+          C.onAbort([this, Key, Displaced] { undoWrite(Key, Displaced); });
+      } else {
+        Inserted = insertCore(C, Key, Value, nullptr);
       }
-      unsigned Height = heightFor(Key);
-      Node *Fresh = Policy::template create<Node>(C);
-      Policy::initStore(C, Fresh, Fresh->Key, Key);
-      Policy::initStore(C, Fresh, Fresh->Value, Value);
-      Policy::initStore(C, Fresh, Fresh->Height,
-                        static_cast<int64_t>(Height));
-      for (unsigned L = 0; L < Height; ++L) {
-        Node *After = Policy::load(C, Preds[L], Preds[L]->Next[L]);
-        Policy::initStore(C, Fresh, Fresh->Next[L], After);
-      }
-      // Link bottom-up; predecessors were opened for read by locate.
-      for (unsigned L = 0; L < Height; ++L) {
-        Policy::openWrite(C, Preds[L]);
-        Policy::store(C, Preds[L], Preds[L]->Next[L], Fresh);
-      }
-      Inserted = true;
     });
     return Inserted;
   }
@@ -86,22 +81,18 @@ public:
   bool erase(int64_t Key) {
     bool Erased = false;
     Policy::run([&](Ctx &C) {
-      Node *Preds[MaxLevel];
-      Node *Found = locate(C, Key, Preds);
-      if (!Found) {
-        Erased = false;
-        return;
+      if constexpr (kBoostedPolicy<Policy>) {
+        C.boostAcquireKey(BoostId, static_cast<uint64_t>(Key));
+        int64_t Displaced = 0;
+        {
+          std::lock_guard<std::mutex> Guard(BaseLock);
+          Erased = eraseCore(C, Key, &Displaced);
+        }
+        if (Erased)
+          C.onAbort([this, Key, Displaced] { undoWrite(Key, Displaced); });
+      } else {
+        Erased = eraseCore(C, Key, nullptr);
       }
-      Policy::openRead(C, Found);
-      unsigned Height =
-          static_cast<unsigned>(Policy::load(C, Found, Found->Height));
-      for (unsigned L = 0; L < Height; ++L) {
-        Node *After = Policy::load(C, Found, Found->Next[L]);
-        Policy::openWrite(C, Preds[L]);
-        Policy::store(C, Preds[L], Preds[L]->Next[L], After);
-      }
-      Policy::destroy(C, Found);
-      Erased = true;
     });
     return Erased;
   }
@@ -110,13 +101,12 @@ public:
   bool lookup(int64_t Key, int64_t &Value) {
     bool Found = false;
     Policy::run([&](Ctx &C) {
-      Node *Preds[MaxLevel];
-      Node *N = locate(C, Key, Preds);
-      if (N) {
-        Value = Policy::load(C, N, N->Value);
-        Found = true;
+      if constexpr (kBoostedPolicy<Policy>) {
+        C.boostAcquireKey(BoostId, static_cast<uint64_t>(Key));
+        std::lock_guard<std::mutex> Guard(BaseLock);
+        Found = lookupCore(C, Key, Value);
       } else {
-        Found = false;
+        Found = lookupCore(C, Key, Value);
       }
     });
     return Found;
@@ -202,7 +192,85 @@ private:
     return false;
   }
 
+  /// Structural body shared by every policy; \p DisplacedOut (boosted
+  /// callers only — null elsewhere so no extra barrier perturbs the
+  /// non-boosted deterministic counts) receives the overwritten value.
+  bool insertCore(Ctx &C, int64_t Key, int64_t Value, int64_t *DisplacedOut) {
+    Node *Preds[MaxLevel];
+    Node *Found = locate(C, Key, Preds);
+    if (Found) {
+      Policy::openWrite(C, Found);
+      if (DisplacedOut)
+        *DisplacedOut = Policy::load(C, Found, Found->Value);
+      Policy::store(C, Found, Found->Value, Value);
+      return false;
+    }
+    unsigned Height = heightFor(Key);
+    Node *Fresh = Policy::template create<Node>(C);
+    Policy::initStore(C, Fresh, Fresh->Key, Key);
+    Policy::initStore(C, Fresh, Fresh->Value, Value);
+    Policy::initStore(C, Fresh, Fresh->Height, static_cast<int64_t>(Height));
+    for (unsigned L = 0; L < Height; ++L) {
+      Node *After = Policy::load(C, Preds[L], Preds[L]->Next[L]);
+      Policy::initStore(C, Fresh, Fresh->Next[L], After);
+    }
+    // Link bottom-up; predecessors were opened for read by locate.
+    for (unsigned L = 0; L < Height; ++L) {
+      Policy::openWrite(C, Preds[L]);
+      Policy::store(C, Preds[L], Preds[L]->Next[L], Fresh);
+    }
+    return true;
+  }
+
+  bool eraseCore(Ctx &C, int64_t Key, int64_t *DisplacedOut) {
+    Node *Preds[MaxLevel];
+    Node *Found = locate(C, Key, Preds);
+    if (!Found)
+      return false;
+    Policy::openRead(C, Found);
+    if (DisplacedOut)
+      *DisplacedOut = Policy::load(C, Found, Found->Value);
+    unsigned Height =
+        static_cast<unsigned>(Policy::load(C, Found, Found->Height));
+    for (unsigned L = 0; L < Height; ++L) {
+      Node *After = Policy::load(C, Found, Found->Next[L]);
+      Policy::openWrite(C, Preds[L]);
+      Policy::store(C, Preds[L], Preds[L]->Next[L], After);
+    }
+    Policy::destroy(C, Found);
+    return true;
+  }
+
+  bool lookupCore(Ctx &C, int64_t Key, int64_t &Value) {
+    Node *Preds[MaxLevel];
+    Node *N = locate(C, Key, Preds);
+    if (!N)
+      return false;
+    Value = Policy::load(C, N, N->Value);
+    return true;
+  }
+
+  // Semantic inverses (abort handlers; abstract key lock still held).
+  void undoInsert(int64_t Key) {
+    Ctx &C = stm::TxManager::current();
+    std::lock_guard<std::mutex> Guard(BaseLock);
+    eraseCore(C, Key, nullptr);
+  }
+
+  /// Restores \p Key to \p OldValue — the inverse of both an update and an
+  /// erase (heights are key-deterministic, so the re-inserted tower is
+  /// structurally identical to the erased one).
+  void undoWrite(int64_t Key, int64_t OldValue) {
+    Ctx &C = stm::TxManager::current();
+    std::lock_guard<std::mutex> Guard(BaseLock);
+    insertCore(C, Key, OldValue, nullptr);
+  }
+
   Node Head; // sentinel: Key unused, full height
+
+  /// Boosting state; inert under non-boosted policies.
+  const uint64_t BoostId = txn::AbstractLockTable::nextContainerId();
+  std::mutex BaseLock;
 };
 
 } // namespace containers

@@ -11,6 +11,11 @@
 /// field access (key, next), optimized lowering opens each node exactly
 /// once — the difference E1 measures.
 ///
+/// Under a boosted policy (DESIGN.md §3.10) point operations conflict on
+/// the abstract key instead of on every traversed node; the whole-list
+/// sumValues has no per-key footprint, so it takes the container's
+/// structural gate (table-wide lock) instead.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OTM_CONTAINERS_SORTEDLIST_H
@@ -52,20 +57,20 @@ public:
   bool insert(int64_t Key, int64_t Value) {
     bool Inserted = false;
     Policy::run([&](Ctx &C) {
-      auto [Prev, Cur, CurKey] = locate(C, Key);
-      if (Cur && CurKey == Key) {
-        Policy::openWrite(C, Cur);
-        Policy::store(C, Cur, Cur->Value, Value);
-        Inserted = false;
-        return;
+      if constexpr (kBoostedPolicy<Policy>) {
+        C.boostAcquireKey(BoostId, static_cast<uint64_t>(Key));
+        int64_t Displaced = 0;
+        {
+          std::lock_guard<std::mutex> Guard(BaseLock);
+          Inserted = insertCore(C, Key, Value, &Displaced);
+        }
+        if (Inserted)
+          C.onAbort([this, Key] { undoInsert(Key); });
+        else
+          C.onAbort([this, Key, Displaced] { undoWrite(Key, Displaced); });
+      } else {
+        Inserted = insertCore(C, Key, Value, nullptr);
       }
-      Node *Fresh = Policy::template create<Node>(C);
-      Policy::initStore(C, Fresh, Fresh->Key, Key);
-      Policy::initStore(C, Fresh, Fresh->Value, Value);
-      Policy::initStore(C, Fresh, Fresh->Next, Cur);
-      Policy::openWrite(C, Prev);
-      Policy::store(C, Prev, Prev->Next, Fresh);
-      Inserted = true;
     });
     return Inserted;
   }
@@ -74,16 +79,18 @@ public:
   bool erase(int64_t Key) {
     bool Erased = false;
     Policy::run([&](Ctx &C) {
-      auto [Prev, Cur, CurKey] = locate(C, Key);
-      if (!Cur || CurKey != Key) {
-        Erased = false;
-        return;
+      if constexpr (kBoostedPolicy<Policy>) {
+        C.boostAcquireKey(BoostId, static_cast<uint64_t>(Key));
+        int64_t Displaced = 0;
+        {
+          std::lock_guard<std::mutex> Guard(BaseLock);
+          Erased = eraseCore(C, Key, &Displaced);
+        }
+        if (Erased)
+          C.onAbort([this, Key, Displaced] { undoWrite(Key, Displaced); });
+      } else {
+        Erased = eraseCore(C, Key, nullptr);
       }
-      Node *After = Policy::load(C, Cur, Cur->Next);
-      Policy::openWrite(C, Prev);
-      Policy::store(C, Prev, Prev->Next, After);
-      Policy::destroy(C, Cur);
-      Erased = true;
     });
     return Erased;
   }
@@ -92,13 +99,12 @@ public:
   bool lookup(int64_t Key, int64_t &Value) {
     bool Found = false;
     Policy::run([&](Ctx &C) {
-      auto [Prev, Cur, CurKey] = locate(C, Key);
-      (void)Prev;
-      if (Cur && CurKey == Key) {
-        Value = Policy::load(C, Cur, Cur->Value);
-        Found = true;
+      if constexpr (kBoostedPolicy<Policy>) {
+        C.boostAcquireKey(BoostId, static_cast<uint64_t>(Key));
+        std::lock_guard<std::mutex> Guard(BaseLock);
+        Found = lookupCore(C, Key, Value);
       } else {
-        Found = false;
+        Found = lookupCore(C, Key, Value);
       }
     });
     return Found;
@@ -109,10 +115,15 @@ public:
     return lookup(Key, Ignored);
   }
 
-  /// Transactionally sums all values (a long read-only transaction).
+  /// Transactionally sums all values (a long read-only transaction). A
+  /// whole-container operation has no per-key conflict footprint, so the
+  /// boosted path falls back to the structural gate: every concurrent
+  /// semantic operation is excluded until this transaction resolves.
   int64_t sumValues() {
     int64_t Sum = 0;
     Policy::run([&](Ctx &C) {
+      if constexpr (kBoostedPolicy<Policy>)
+        C.boostAcquireStructural(BoostId);
       Sum = 0;
       unsigned Steps = 0;
       Node *Prev = &Head;
@@ -179,7 +190,70 @@ private:
     return {Prev, nullptr, 0};
   }
 
+  /// Structural body shared by every policy; \p DisplacedOut (boosted
+  /// callers only — null elsewhere so no extra barrier perturbs the
+  /// non-boosted deterministic counts) receives the overwritten value.
+  bool insertCore(Ctx &C, int64_t Key, int64_t Value, int64_t *DisplacedOut) {
+    auto [Prev, Cur, CurKey] = locate(C, Key);
+    if (Cur && CurKey == Key) {
+      Policy::openWrite(C, Cur);
+      if (DisplacedOut)
+        *DisplacedOut = Policy::load(C, Cur, Cur->Value);
+      Policy::store(C, Cur, Cur->Value, Value);
+      return false;
+    }
+    Node *Fresh = Policy::template create<Node>(C);
+    Policy::initStore(C, Fresh, Fresh->Key, Key);
+    Policy::initStore(C, Fresh, Fresh->Value, Value);
+    Policy::initStore(C, Fresh, Fresh->Next, Cur);
+    Policy::openWrite(C, Prev);
+    Policy::store(C, Prev, Prev->Next, Fresh);
+    return true;
+  }
+
+  bool eraseCore(Ctx &C, int64_t Key, int64_t *DisplacedOut) {
+    auto [Prev, Cur, CurKey] = locate(C, Key);
+    if (!Cur || CurKey != Key)
+      return false;
+    if (DisplacedOut)
+      *DisplacedOut = Policy::load(C, Cur, Cur->Value);
+    Node *After = Policy::load(C, Cur, Cur->Next);
+    Policy::openWrite(C, Prev);
+    Policy::store(C, Prev, Prev->Next, After);
+    Policy::destroy(C, Cur);
+    return true;
+  }
+
+  bool lookupCore(Ctx &C, int64_t Key, int64_t &Value) {
+    auto [Prev, Cur, CurKey] = locate(C, Key);
+    (void)Prev;
+    if (Cur && CurKey == Key) {
+      Value = Policy::load(C, Cur, Cur->Value);
+      return true;
+    }
+    return false;
+  }
+
+  // Semantic inverses (abort handlers; abstract key lock still held).
+  void undoInsert(int64_t Key) {
+    Ctx &C = stm::TxManager::current();
+    std::lock_guard<std::mutex> Guard(BaseLock);
+    eraseCore(C, Key, nullptr);
+  }
+
+  /// Restores \p Key to \p OldValue — the inverse of both an update (store
+  /// back the displaced value) and an erase (re-insert the displaced pair).
+  void undoWrite(int64_t Key, int64_t OldValue) {
+    Ctx &C = stm::TxManager::current();
+    std::lock_guard<std::mutex> Guard(BaseLock);
+    insertCore(C, Key, OldValue, nullptr);
+  }
+
   Node Head; // sentinel; Key unused
+
+  /// Boosting state; inert under non-boosted policies.
+  const uint64_t BoostId = txn::AbstractLockTable::nextContainerId();
+  std::mutex BaseLock;
 };
 
 } // namespace containers

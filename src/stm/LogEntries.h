@@ -98,6 +98,16 @@ struct AllocEntry {
   bool FreeOnCommit = false;
 };
 
+/// One deferred commit/abort handler of the boosting tier (DESIGN.md §3.10).
+/// Payload is a TxPool-allocated closure; Invoke runs it, Dispose destroys
+/// it and returns the block to the pool. Exactly one of the commit/abort
+/// logs runs its entries; the other log only disposes them.
+struct DeferredAction {
+  void (*Invoke)(void *Payload) = nullptr;
+  void (*Dispose)(void *Payload) = nullptr;
+  void *Payload = nullptr;
+};
+
 } // namespace stm
 } // namespace otm
 

@@ -20,6 +20,7 @@
 #include "obs/PhaseProfile.h"
 #include "stm/Mvcc.h"
 #include "stm/TxStats.h"
+#include "txn/AbstractLockTable.h"
 
 namespace otm {
 namespace stm {
@@ -106,6 +107,28 @@ inline obs::JsonValue mvccStatsToJson(const TxStats &S) {
   Depth.set("p50", S.MvChainDepth.percentile(50.0));
   Depth.set("p99", S.MvChainDepth.percentile(99.0));
   V.set("chain_depth", std::move(Depth));
+  return V;
+}
+
+/// The boosting tier's view of a stats block: abstract-lock traffic,
+/// deferred-action volume, and the live lock-table occupancy gauge
+/// (DESIGN.md §3.10). The keys exist — with zero values — in OTM_BOOST=0
+/// builds too: the telemetry schema must not fork on the compile switch.
+inline obs::JsonValue boostStatsToJson(const TxStats &S) {
+  obs::JsonValue V = obs::JsonValue::object();
+  V.set("enabled", OTM_BOOST != 0);
+  V.set("lock_acquires", S.BoostLockAcquires);
+  V.set("lock_waits", S.BoostLockWaits);
+  V.set("commit_ops", S.BoostCommitOps);
+  V.set("undo_ops", S.BoostUndoOps);
+  V.set("structural_fallbacks", S.BoostStructuralFallbacks);
+#if OTM_BOOST
+  V.set("lock_table_held", txn::AbstractLockTable::instance().heldCount());
+#else
+  V.set("lock_table_held", uint64_t(0));
+#endif
+  V.set("lock_table_capacity",
+        static_cast<uint64_t>(txn::AbstractLockTable::capacity()));
   return V;
 }
 

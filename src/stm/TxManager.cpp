@@ -193,6 +193,10 @@ bool TxManager::tryCommit() {
       if (Entry.FreeOnCommit)
         gc::EpochManager::global().retire(Entry.Raw, Entry.Destroy);
     });
+#if OTM_BOOST
+  if (OTM_UNLIKELY(!boostStateEmpty()))
+    commitBoostState();
+#endif
   finishAttempt();
   return true;
 }
@@ -229,6 +233,14 @@ void TxManager::rollbackAttempt(AbortTx::Cause Why) {
     if (!Entry.FreeOnCommit)
       gc::EpochManager::global().retire(Entry.Raw, Entry.Destroy);
   });
+#if OTM_BOOST
+  // Semantic undo: run the abort handlers (newest first) while the abstract
+  // locks are still held, then drop the locks. The structural gate's drain
+  // counts a held key lock until this releases it, so a whole-container
+  // operation can never observe a half-undone container.
+  if (OTM_UNLIKELY(!boostStateEmpty()))
+    abortBoostState();
+#endif
   // Snapshot upgrades/refreshes are restarts of a transaction that cannot
   // lose to anyone — keeping them out of Aborts preserves the never-abort
   // accounting the read-only path advertises.
@@ -287,6 +299,213 @@ WordValue TxManager::waitForUnowned(TxObject *Obj) {
       isOwned(W) ? ownerEntry(W)->owner()->siteId() : 0, siteId());
   abortAndThrow(AbortTx::Cause::Conflict);
 }
+
+#if OTM_BOOST
+
+void TxManager::boostAcquireKey(uint64_t ContainerId, uint64_t Key) {
+  assert(inTx() && "boostAcquireKey outside a transaction");
+#if OTM_MVCC
+  if (OTM_UNLIKELY(SnapshotMode))
+    upgradeToWriter(); // boosted ops mutate in place: not read-only
+#endif
+  txn::AbstractLockTable &Table = txn::AbstractLockTable::instance();
+  txn::AbstractLockTable::Slot &S = Table.slotFor(ContainerId, Key);
+  txn::AbstractLockTable::Gate &G = Table.gateFor(ContainerId);
+  // Holding the whole container (structural fallback earlier in this
+  // transaction) subsumes every key lock under its gate: the drain that
+  // admitted us proved no foreign key lock exists, and newcomers back off
+  // on the gate before reaching any slot.
+  if (G.Structural.load(std::memory_order_acquire) == &CmState)
+    return;
+  const txn::ContentionManager &CM =
+      txn::managerFor(ActiveConfig.ContentionPolicy);
+  constexpr unsigned RoundSpins = 32;
+  const unsigned BudgetRounds =
+      (ActiveConfig.ConflictSpins + RoundSpins - 1) / RoundSpins;
+  obs::PhaseScope Ph(Obs.Sampling, Stats.PhaseCmWaitCycles);
+  bool CountedWait = false;
+  for (unsigned Round = 0;;) {
+    txn::CmTxState *Blocker = nullptr;
+    // Dekker handshake with the structural side: claim ActiveSemantic
+    // first, then recheck the gate (the structural claimant stores its
+    // owner first, then reads ActiveSemantic; both sides seq_cst).
+    txn::CmTxState *Structural = G.Structural.load(std::memory_order_seq_cst);
+    if (Structural && Structural != &CmState) {
+      Blocker = Structural;
+    } else {
+      G.ActiveSemantic.fetch_add(1, std::memory_order_seq_cst);
+      Structural = G.Structural.load(std::memory_order_seq_cst);
+      if (Structural && Structural != &CmState) {
+        G.ActiveSemantic.fetch_sub(1, std::memory_order_seq_cst);
+        Blocker = Structural;
+      } else {
+        txn::CmTxState *Owner = nullptr;
+        switch (Table.tryAcquire(S, &CmState, Owner)) {
+        case txn::AbstractLockTable::Acquire::Acquired:
+          // The ActiveSemantic claim transfers to the held lock; it drops
+          // when release() runs at commit/abort.
+          BoostLocks.emplaceBack(
+              txn::AbstractLockTable::LockRef{&S, &G, false});
+          ++Stats.BoostLockAcquires;
+          return;
+        case txn::AbstractLockTable::Acquire::AlreadyHeld:
+          G.ActiveSemantic.fetch_sub(1, std::memory_order_seq_cst);
+          return; // idempotent re-acquire (same key, or a slot collision)
+        case txn::AbstractLockTable::Acquire::Busy:
+          G.ActiveSemantic.fetch_sub(1, std::memory_order_seq_cst);
+          Blocker = Owner;
+          break;
+        }
+      }
+    }
+    // A semantic conflict is arbitrated exactly like a structural ownership
+    // conflict: same managers, same round budget, same wait shape.
+    if (!CountedWait) {
+      txn::CmStats::instance().bumpSemanticWaits();
+      ++Stats.BoostLockWaits;
+      CountedWait = true;
+    }
+    txn::ConflictChoice Choice =
+        CM.onConflict(CmState, *Blocker, Round, BudgetRounds);
+    if (Choice == txn::ConflictChoice::Wait) {
+      for (unsigned Spin = 0; Spin < RoundSpins - 1; ++Spin)
+        cpuRelax();
+      std::this_thread::yield();
+      ++Round;
+      continue;
+    }
+    if (Choice == txn::ConflictChoice::AbortSelfPriority)
+      txn::CmStats::instance().bumpSemanticPriorityAborts();
+    ++Stats.AbortsOnConflict;
+    // Attribute to the slot address: abstract locks have no TxObject, but
+    // the site table only needs a stable key for the contended resource.
+    obs::AbortSites::instance().record(&S, obs::AbortCause::Conflict, 0,
+                                       siteId());
+    abortAndThrow(AbortTx::Cause::Conflict);
+  }
+}
+
+void TxManager::boostAcquireStructural(uint64_t ContainerId) {
+  assert(inTx() && "boostAcquireStructural outside a transaction");
+#if OTM_MVCC
+  if (OTM_UNLIKELY(SnapshotMode))
+    upgradeToWriter();
+#endif
+  txn::AbstractLockTable &Table = txn::AbstractLockTable::instance();
+  txn::AbstractLockTable::Gate &G = Table.gateFor(ContainerId);
+  if (G.Structural.load(std::memory_order_acquire) == &CmState)
+    return; // reentrant within the transaction
+  ++Stats.BoostStructuralFallbacks;
+  const txn::ContentionManager &CM =
+      txn::managerFor(ActiveConfig.ContentionPolicy);
+  constexpr unsigned RoundSpins = 32;
+  const unsigned BudgetRounds =
+      (ActiveConfig.ConflictSpins + RoundSpins - 1) / RoundSpins;
+  obs::PhaseScope Ph(Obs.Sampling, Stats.PhaseCmWaitCycles);
+  // Phase 1: claim the gate, arbitrating against a rival structural owner.
+  bool CountedWait = false;
+  for (unsigned Round = 0;;) {
+    txn::CmTxState *Owner = nullptr;
+    if (Table.tryClaimStructural(G, &CmState, Owner))
+      break;
+    if (!CountedWait) {
+      txn::CmStats::instance().bumpSemanticWaits();
+      ++Stats.BoostLockWaits;
+      CountedWait = true;
+    }
+    txn::ConflictChoice Choice =
+        CM.onConflict(CmState, *Owner, Round, BudgetRounds);
+    if (Choice == txn::ConflictChoice::Wait) {
+      for (unsigned Spin = 0; Spin < RoundSpins - 1; ++Spin)
+        cpuRelax();
+      std::this_thread::yield();
+      ++Round;
+      continue;
+    }
+    if (Choice == txn::ConflictChoice::AbortSelfPriority)
+      txn::CmStats::instance().bumpSemanticPriorityAborts();
+    ++Stats.AbortsOnConflict;
+    obs::AbortSites::instance().record(&G, obs::AbortCause::Conflict, 0,
+                                       siteId());
+    abortAndThrow(AbortTx::Cause::Conflict);
+  }
+  // Record the gate *before* draining: if the drain aborts us, rollback
+  // releases the claim through the ordinary lock-release walk.
+  BoostLocks.emplaceBack(txn::AbstractLockTable::LockRef{nullptr, &G, true});
+  // Phase 2: wait out foreign key locks under this gate. Our own are part
+  // of ActiveSemantic too, so drain down to that self-contribution. The
+  // wait is bounded: key holders release at commit/abort, but an older
+  // holder may itself be waiting on a resource we hold elsewhere — there is
+  // no single owner to arbitrate with, so past the budget we abort
+  // unconditionally rather than risk a cycle.
+  uint32_t SelfHeld = 0;
+  BoostLocks.forEach([&](txn::AbstractLockTable::LockRef &R) {
+    if (!R.Structural && R.G == &G)
+      ++SelfHeld;
+  });
+  for (unsigned Round = 0;;) {
+    if (G.ActiveSemantic.load(std::memory_order_seq_cst) <= SelfHeld)
+      return;
+    if (Round >= BudgetRounds) {
+      ++Stats.AbortsOnConflict;
+      obs::AbortSites::instance().record(&G, obs::AbortCause::Conflict, 0,
+                                         siteId());
+      abortAndThrow(AbortTx::Cause::Conflict);
+    }
+    for (unsigned Spin = 0; Spin < RoundSpins - 1; ++Spin)
+      cpuRelax();
+    std::this_thread::yield();
+    ++Round;
+  }
+}
+
+void TxManager::releaseBoostLocks() {
+  if (BoostLocks.empty())
+    return;
+  txn::AbstractLockTable &Table = txn::AbstractLockTable::instance();
+  BoostLocks.forEachReverse([&](txn::AbstractLockTable::LockRef &R) {
+    Table.release(R, &CmState);
+  });
+  BoostLocks.clear();
+}
+
+void TxManager::commitBoostState() {
+  if (!CommitActions.empty()) {
+    RunningDeferred = true;
+    CommitActions.forEach([&](DeferredAction &A) {
+      A.Invoke(A.Payload);
+      A.Dispose(A.Payload);
+      ++Stats.BoostCommitOps;
+    });
+    RunningDeferred = false;
+    CommitActions.clear();
+  }
+  if (!AbortActions.empty()) {
+    AbortActions.forEach([](DeferredAction &A) { A.Dispose(A.Payload); });
+    AbortActions.clear();
+  }
+  releaseBoostLocks();
+}
+
+void TxManager::abortBoostState() {
+  if (!AbortActions.empty()) {
+    RunningDeferred = true;
+    AbortActions.forEachReverse([&](DeferredAction &A) {
+      A.Invoke(A.Payload);
+      A.Dispose(A.Payload);
+      ++Stats.BoostUndoOps;
+    });
+    RunningDeferred = false;
+    AbortActions.clear();
+  }
+  if (!CommitActions.empty()) {
+    CommitActions.forEach([](DeferredAction &A) { A.Dispose(A.Payload); });
+    CommitActions.clear();
+  }
+  releaseBoostLocks();
+}
+
+#endif // OTM_BOOST
 
 void TxManager::recordValidationFailureSite() {
   for (std::size_t I = 0, E = ReadLog.size(); I != E; ++I) {
@@ -568,6 +787,9 @@ struct StmTelemetrySources {
     });
     T.registerSource("mvcc", [] {
       return mvccStatsToJson(GlobalTxStats::instance().snapshot());
+    });
+    T.registerSource("boost", [] {
+      return boostStatsToJson(GlobalTxStats::instance().snapshot());
     });
   }
 } RegisterStmSources;

@@ -50,10 +50,13 @@
 #include "support/Backoff.h"
 #include "support/ChunkedVector.h"
 #include "support/Compiler.h"
+#include "support/TxPool.h"
+#include "txn/AbstractLockTable.h"
 #include "txn/ContentionManager.h"
 
 #include <cassert>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 
 namespace otm {
@@ -123,6 +126,9 @@ public:
     FilterUndoOn = ActiveConfig.FilterUndo;
     assert(ReadLog.empty() && UpdateLog.empty() && UndoLog.empty() &&
            AllocLog.empty() && "logs leaked from a previous attempt");
+#if OTM_BOOST
+    assert(boostStateEmpty() && "boost state leaked from a previous attempt");
+#endif
     EPin.pin(); // nested under RetryController's pre-pin on executor paths
 #if OTM_MVCC
     // The retry layer may have pre-computed the attempt mode (so its gate
@@ -405,6 +411,59 @@ public:
   }
 
   //===--------------------------------------------------------------------===
+  // Deferred actions & abstract locks (transactional boosting, §3.10)
+  //===--------------------------------------------------------------------===
+
+  /// True when the boosting tier is compiled in (-DOTM_BOOST, default on).
+  static constexpr bool boostEnabled() { return OTM_BOOST != 0; }
+
+#if OTM_BOOST
+  /// Defers \p Fn to run iff the outermost transaction commits, after
+  /// write-back and ownership release but *before* the abstract locks are
+  /// dropped. Handlers run in registration (FIFO) order. They must not
+  /// throw and must not start transactions or register further deferred
+  /// actions (node destruction from inside a handler is routed through
+  /// runningDeferredActions() instead).
+  template <typename FnType> void onCommit(FnType &&Fn) {
+    deferAction(CommitActions, std::forward<FnType>(Fn));
+  }
+
+  /// Defers \p Fn to run iff the outermost transaction aborts. Handlers run
+  /// in reverse registration (LIFO) order — the semantic undo discipline —
+  /// after the in-place undo replay and STM-word release, and before the
+  /// abstract locks are dropped, so an inverse always executes while the
+  /// keys it touches are still exclusively this transaction's.
+  template <typename FnType> void onAbort(FnType &&Fn) {
+    deferAction(AbortActions, std::forward<FnType>(Fn));
+  }
+
+  /// Acquires the abstract lock for (\p ContainerId, \p Key), waiting or
+  /// aborting under the configured contention manager exactly as a
+  /// structural ownership conflict would. Idempotent for locks this
+  /// transaction already holds; released automatically at commit/abort.
+  void boostAcquireKey(uint64_t ContainerId, uint64_t Key);
+
+  /// Acquires \p ContainerId's whole-container gate (structural fallback):
+  /// claims the gate, then drains concurrently held abstract key locks.
+  /// The drain is bounded by the conflict-spin budget; exceeding it aborts
+  /// this transaction (no single owner exists to arbitrate against).
+  void boostAcquireStructural(uint64_t ContainerId);
+
+  /// True while commit/abort deferred actions are executing. Semantic
+  /// inverse helpers use it to destroy nodes immediately instead of
+  /// registering further deferred deletes into the log being walked.
+  bool runningDeferredActions() const { return RunningDeferred; }
+
+  std::size_t boostLockCountForTesting() const { return BoostLocks.size(); }
+  std::size_t deferredCommitCountForTesting() const {
+    return CommitActions.size();
+  }
+  std::size_t deferredAbortCountForTesting() const {
+    return AbortActions.size();
+  }
+#endif
+
+  //===--------------------------------------------------------------------===
   // Validation
   //===--------------------------------------------------------------------===
 
@@ -523,6 +582,43 @@ private:
   bool snapshotCommit();
 #endif
 
+#if OTM_BOOST
+  /// Wraps \p Fn in a TxPool-allocated closure and appends it to \p Log.
+  /// The snapshot upgrade happens before the allocation so an upgrade
+  /// restart cannot leak the payload.
+  template <typename LogType, typename FnType>
+  void deferAction(LogType &Log, FnType &&Fn) {
+    assert(inTx() && "deferred action outside a transaction");
+#if OTM_MVCC
+    if (OTM_UNLIKELY(SnapshotMode))
+      upgradeToWriter(); // a deferred handler is a side effect
+#endif
+    using Closure = std::decay_t<FnType>;
+    void *Payload = support::TxPool::allocate(sizeof(Closure));
+    ::new (Payload) Closure(std::forward<FnType>(Fn));
+    Log.emplaceBack(DeferredAction{
+        +[](void *P) { (*static_cast<Closure *>(P))(); },
+        +[](void *P) {
+          static_cast<Closure *>(P)->~Closure();
+          support::TxPool::deallocate(P);
+        },
+        Payload});
+  }
+
+  /// Commit epilogue: run commit handlers (FIFO), dispose abort handlers,
+  /// release abstract locks. Rollback epilogue: run abort handlers (LIFO),
+  /// dispose commit handlers, release abstract locks. Lock release is last
+  /// in both so no concurrent transaction can acquire a key whose semantic
+  /// state is still being settled.
+  void commitBoostState();
+  void abortBoostState();
+  void releaseBoostLocks();
+
+  bool boostStateEmpty() const {
+    return CommitActions.empty() && AbortActions.empty() && BoostLocks.empty();
+  }
+#endif
+
   template <typename T> static T fieldFromBits(uint64_t Bits) {
     T V;
     std::memcpy(&V, &Bits, sizeof(T));
@@ -569,6 +665,12 @@ private:
   ChunkedVector<AllocEntry> AllocLog;
   HashFilter ReadFilter;
   HashFilter UndoFilter;
+#if OTM_BOOST
+  ChunkedVector<DeferredAction> CommitActions;
+  ChunkedVector<DeferredAction> AbortActions;
+  ChunkedVector<txn::AbstractLockTable::LockRef> BoostLocks;
+  bool RunningDeferred = false;
+#endif
 
   TxStats Stats;
   obs::TxObs Obs;

@@ -51,7 +51,12 @@ namespace stm {
   X(SnapshotReadsFromChain) /* ... that reconstructed from a version chain */  \
   X(SnapshotWaits)          /* ... that waited out an in-flight writer */      \
   X(MvVersionsInstalled)    /* version-chain nodes pushed at commit */         \
-  X(MvVersionsRetired)      /* version-chain nodes cut and epoch-retired */
+  X(MvVersionsRetired)      /* version-chain nodes cut and epoch-retired */    \
+  X(BoostLockAcquires)      /* abstract (container,key) locks taken */         \
+  X(BoostLockWaits)         /* ... that found a foreign owner first */         \
+  X(BoostCommitOps)         /* deferred on-commit actions executed */          \
+  X(BoostUndoOps)           /* semantic inverse actions executed on abort */   \
+  X(BoostStructuralFallbacks) /* whole-container ops via the gate */
 
 /// Power-of-two distributions sampled when obs::setSampling(true):
 /// CommitTscCycles is outermost begin() -> published commit in TSC ticks;

@@ -34,7 +34,9 @@ namespace txn {
   X(AttemptPauses)    /* inter-attempt pauses the policy performed */          \
   X(FallbackEntries)  /* escalations into serial-irrevocable mode */           \
   X(FallbackCommits)  /* transactions that finished while serial */            \
-  X(GateWaits)        /* attempts that stalled behind a serial owner */
+  X(GateWaits)        /* attempts that stalled behind a serial owner */        \
+  X(SemanticWaits)    /* abstract-lock conflicts where the policy waited */    \
+  X(SemanticPriorityAborts) /* abstract-lock conflicts lost on priority */
 
 /// Plain snapshot block.
 struct CmStatsSnapshot {

@@ -163,7 +163,7 @@ TEST(CmStatsTest, BumpSnapshotResetAgree) {
     EXPECT_NE(Name, nullptr);
     ++Counters;
   });
-  EXPECT_EQ(Counters, 6u);
+  EXPECT_EQ(Counters, 8u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -63,6 +63,15 @@ def render(rec, out):
                      f"   live versions {fmt_count(mv_t.get('versions_live', 0))}"
                      f"   retired {fmt_count(mv_t.get('versions_retired', 0))}")
 
+    bo_t = totals.get("boost", {})
+    bo_d = deltas.get("boost", {})
+    if bo_t.get("enabled"):
+        lines.append(f"boost    acquire/s "
+                     f"{fmt_count(bo_d.get('lock_acquires', 0) / interval_s)}"
+                     f"   waits {fmt_count(bo_t.get('lock_waits', 0))}"
+                     f"   undos {fmt_count(bo_t.get('undo_ops', 0))}"
+                     f"   held {fmt_count(bo_t.get('lock_table_held', 0))}")
+
     lat = stm_t.get("commit_latency", {})
     if lat.get("count"):
         lines.append(f"commit latency (cycles)   "
