@@ -21,6 +21,8 @@
 #include "obs/TxObs.h"
 #include "stm/StatsJson.h"
 #include "stm/Stm.h"
+#include "support/Random.h"
+#include "txn/AdmissionScheduler.h"
 #include "txn/CmStats.h"
 #include "wstm/WordStm.h"
 #include "support/ThreadBarrier.h"
@@ -29,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -105,6 +108,41 @@ inline std::size_t scaled(std::size_t Full, std::size_t Small) {
   return smokeMode() ? Small : Full;
 }
 
+/// The bench-standard hot-key skew (YCSB's 0.99), defined once here instead
+/// of one `constexpr double ZipfSkew` per binary.
+inline constexpr double BenchZipfSkew = 0.99;
+
+/// The one key-popularity generator for workload drivers (E7/E9/E10/E11):
+/// Zipf-skewed ranks (rank 0 hottest) or a uniform draw, behind one
+/// interface so a bench can sweep distributions without forking its loop.
+/// Keep the key stream separate from the role/decision stream (the E9
+/// two-stream pattern) so runs stay deterministic under code motion.
+class KeyDist {
+public:
+  /// Zipf at the bench-standard skew. Delegates to support's ZipfGenerator
+  /// with the same (N, skew, seed) triple the binaries used to construct
+  /// directly, so existing per-thread key streams are bit-identical.
+  static KeyDist zipf(uint64_t N, uint64_t Seed) {
+    return zipf(N, BenchZipfSkew, Seed);
+  }
+  static KeyDist zipf(uint64_t N, double Skew, uint64_t Seed) {
+    KeyDist D(N, Seed);
+    D.Zipf.emplace(N, Skew, Seed);
+    return D;
+  }
+  static KeyDist uniform(uint64_t N, uint64_t Seed) { return KeyDist(N, Seed); }
+
+  /// Next key in [0, N).
+  uint64_t next() { return Zipf ? Zipf->next() : Rng.nextBelow(N); }
+
+private:
+  KeyDist(uint64_t N, uint64_t Seed) : N(N), Rng(Seed) {}
+
+  uint64_t N;
+  Xoshiro256 Rng;
+  std::optional<ZipfGenerator> Zipf;
+};
+
 /// One measurement row for a BenchReport: {label, seconds, ops, ops_per_sec}
 /// plus whatever the caller sets afterwards.
 inline obs::JsonValue makeRun(const std::string &Label, double Seconds,
@@ -147,6 +185,7 @@ public:
     Reporter.addSection("mvcc", stm::mvccStatsToJson(Global));
     Reporter.addSection("boost", stm::boostStatsToJson(Global));
     Reporter.addSection("abort_sites", stm::abortSitesToJson());
+    Reporter.addSection("sched", txn::schedStatsToJson());
     Reporter.addSection("pass_stats", obs::Statistic::allToJson());
     obs::JsonValue Cm = txn::cmStatsToJson(txn::CmStats::instance().snapshot());
     Cm.set("policy",

@@ -50,7 +50,6 @@ namespace {
 
 const int OpsPerThread = static_cast<int>(scaled(20000, 400));
 constexpr unsigned KeySpace = 4096;
-constexpr double ZipfSkew = 0.99;
 constexpr unsigned InsertPercent = 40; // then 40% erase, 20% lookup
 
 /// The containers close over their own op signatures; the driver only needs
@@ -97,7 +96,7 @@ Headline runCell(const char *Struct, const char *Mode, unsigned NumThreads,
     // Separate generators for op kind and keys: the kind stream stays
     // deterministic regardless of how many key draws each op makes.
     Xoshiro256 Kind(10100 + T);
-    ZipfGenerator Keys(KeySpace, ZipfSkew, 10200 + T);
+    KeyDist Keys = KeyDist::zipf(KeySpace, 10200 + T);
     int64_t Local = 0;
     for (int I = 0; I < OpsPerThread; ++I) {
       auto Key = static_cast<int64_t>(Keys.next());
@@ -182,7 +181,7 @@ int main() {
   BenchReport Report("e10_boosting", "E10");
   std::printf("E10: write-heavy Zipf point ops (keyspace=%u, skew=%.2f, "
               "%u%%/%u%%/%u%% insert/erase/lookup), boosted vs obj-opt\n",
-              KeySpace, ZipfSkew, InsertPercent, InsertPercent,
+              KeySpace, BenchZipfSkew, InsertPercent, InsertPercent,
               100 - 2 * InsertPercent);
   if (!stm::TxManager::boostEnabled())
     std::printf("NOTE: built with OTM_BOOST=0 — mode=boosted falls back to "

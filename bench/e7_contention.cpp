@@ -56,11 +56,15 @@ void runCell(unsigned WritePercent, unsigned HotSet, BenchReport &Report,
 
   StatsCapture Capture;
   double Seconds = runThreads(NumThreads, [&](unsigned T) {
-    Xoshiro256 Rng(8100 + T);
+    // Separate role and key streams (the E9/E10 pattern, via the shared
+    // KeyDist): writer/yield decisions stay deterministic regardless of
+    // how the key draws evolve.
+    Xoshiro256 Role(8100 + T);
+    KeyDist Keys = KeyDist::uniform(HotSet, 8150 + T);
     for (int I = 0; I < TxPerThread; ++I) {
-      Item *A = Pool[Rng.nextBelow(HotSet)].get();
-      Item *B = Pool[Rng.nextBelow(HotSet)].get();
-      bool Writer = Rng.nextPercent(WritePercent);
+      Item *A = Pool[Keys.next()].get();
+      Item *B = Pool[Keys.next()].get();
+      bool Writer = Role.nextPercent(WritePercent);
       Stm::atomic([&](TxManager &Tx) {
         if (Writer) {
           Tx.openForUpdate(A);
@@ -71,7 +75,7 @@ void runCell(unsigned WritePercent, unsigned HotSet, BenchReport &Report,
         // Emulate transaction overlap: occasionally yield while holding
         // the opens (every transaction yielding would serialize the whole
         // run on a single-core host).
-        if (Rng.nextPercent(10))
+        if (Role.nextPercent(10))
           std::this_thread::yield();
         int64_t V = A->Value.load() + B->Value.load();
         if (Writer) {
@@ -137,18 +141,19 @@ void runBoostedCell(unsigned WritePercent, unsigned HotSet,
 
   StatsCapture Capture;
   double Seconds = runThreads(NumThreads, [&](unsigned T) {
-    Xoshiro256 Rng(8100 + T);
+    Xoshiro256 Role(8100 + T);
+    KeyDist Keys = KeyDist::uniform(HotSet, 8150 + T);
     for (int I = 0; I < TxPerThread; ++I) {
-      uint64_t A = Rng.nextBelow(HotSet);
-      uint64_t B = Rng.nextBelow(HotSet);
-      bool Writer = Rng.nextPercent(WritePercent);
+      uint64_t A = Keys.next();
+      uint64_t B = Keys.next();
+      bool Writer = Role.nextPercent(WritePercent);
       Stm::atomic([&](TxManager &Tx) {
         Tx.boostAcquireKey(BoostId, A);
         if (B != A)
           Tx.boostAcquireKey(BoostId, B);
         // Same overlap emulation as the structural cells, while the
         // abstract locks (rather than opens) are held.
-        if (Rng.nextPercent(10))
+        if (Role.nextPercent(10))
           std::this_thread::yield();
         std::lock_guard<std::mutex> Guard(BaseLock);
         int64_t V = Pool[A] + Pool[B];

@@ -47,7 +47,6 @@ namespace {
 const int TxPerThread = static_cast<int>(scaled(20000, 400));
 constexpr unsigned PoolSize = 4096;
 constexpr unsigned ReadsPerTx = 16;
-constexpr double ZipfSkew = 0.99;
 
 struct Item : TxObject {
   Field<int64_t> Value;
@@ -78,7 +77,7 @@ void runCell(unsigned NumThreads, unsigned ReaderPercent, bool Snapshot,
     // reader_tx/writer_tx) stays deterministic regardless of how many key
     // draws each role makes.
     Xoshiro256 Role(9100 + T);
-    ZipfGenerator Keys(PoolSize, ZipfSkew, 9200 + T);
+    KeyDist Keys = KeyDist::zipf(PoolSize, 9200 + T);
     CellResult &R = PerThread[T];
     int64_t Sink = 0;
     for (int I = 0; I < TxPerThread; ++I) {
@@ -172,7 +171,7 @@ int main() {
   BenchReport Report("e9_read_mostly", "E9");
   std::printf("E9: read-mostly Zipf workload, snapshot vs validate read-only "
               "commits (pool=%u, %u reads/tx, skew=%.2f)\n",
-              PoolSize, ReadsPerTx, ZipfSkew);
+              PoolSize, ReadsPerTx, BenchZipfSkew);
   if (!TxManager::mvccEnabled())
     std::printf("NOTE: built with OTM_MVCC=0 — mode=snapshot falls back to "
                 "the validate path (snapshot_commits stays 0)\n");

@@ -44,6 +44,14 @@ BOOST_KEYS = ("enabled", "lock_acquires", "lock_waits", "commit_ops",
               "undo_ops", "structural_fallbacks", "lock_table_held",
               "lock_table_capacity")
 
+# Same contract for the "sched" source (admission/batching scheduler,
+# DESIGN.md section 3.11): keys exist with value 0 (enabled=false) in
+# OTM_SCHED=0 builds.
+SCHED_KEYS = ("enabled", "mode", "admitted_immediate", "queued",
+              "queue_overflows", "timeout_bypasses", "bypassed", "releases",
+              "aborts_reported", "gate_flips_on", "gate_flips_off",
+              "gates_on", "max_queue_depth", "queue_wait_us")
+
 
 def check_deltas_nonnegative(node, path, errors):
     if isinstance(node, dict):
@@ -117,6 +125,16 @@ def validate_file(path):
                         for key in BOOST_KEYS:
                             if key not in boost:
                                 errors.append(f"line {lineno}: totals.boost "
+                                              f"missing key {key!r}")
+                if isinstance(totals, dict) and "sched" in totals:
+                    sched = totals["sched"]
+                    if not isinstance(sched, dict):
+                        errors.append(f"line {lineno}: totals.sched is not "
+                                      f"an object")
+                    else:
+                        for key in SCHED_KEYS:
+                            if key not in sched:
+                                errors.append(f"line {lineno}: totals.sched "
                                               f"missing key {key!r}")
                 records += 1
     except OSError as err:

@@ -38,6 +38,7 @@
 #define OTM_STM_HASHFILTER_H
 
 #include "support/Compiler.h"
+#include "txn/Fingerprint.h"
 
 #include <algorithm>
 #include <cassert>
@@ -100,6 +101,28 @@ public:
   }
 
   std::size_t size() const { return Count; }
+
+  /// Folds every live key into \p F — the fixed-width Bloom export the
+  /// admission scheduler samples (DESIGN.md §3.11). The exact set
+  /// compresses to 256 bits, so the fingerprint inherits this filter's
+  /// keyspace (object/field addresses) and the one-sided guarantee of
+  /// txn::RwFingerprint: a shared key always collides, so fingerprint
+  /// disjointness proves set disjointness. Walks the table — sample once
+  /// per attempt, not per barrier.
+  void appendFingerprint(txn::RwFingerprint &F) const {
+    uint64_t Tag = Gen << KeyBits;
+    for (uint64_t S : Slots)
+      if ((S & TagMask) == Tag)
+        F.insert(S & KeyMask);
+  }
+
+  /// Convenience form of appendFingerprint() for tests and declared-set
+  /// construction.
+  txn::RwFingerprint fingerprint() const {
+    txn::RwFingerprint F;
+    appendFingerprint(F);
+    return F;
+  }
 
 private:
   static constexpr std::size_t InitialCapacity = 64; // power of two

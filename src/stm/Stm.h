@@ -34,6 +34,7 @@
 #include "stm/TxManager.h"
 #include "stm/TxObject.h"
 #include "stm/TxStats.h"
+#include "txn/AdmissionScheduler.h"
 #include "txn/RetryExecutor.h"
 
 #include <optional>
@@ -136,6 +137,32 @@ public:
     return std::move(*Result);
   }
 
+  /// atomic() routed through the admission scheduler (DESIGN.md §3.11),
+  /// with the transaction's footprint *declared* up front: \p Declared
+  /// summarizes the keys \p Fn will touch (same key convention as every
+  /// other \p ClassId transaction — E11 uses row addresses). Provably
+  /// compatible transactions run concurrently; maybe-conflicting ones
+  /// queue instead of speculating. The summary is advisory only — an
+  /// under-declared footprint costs aborts (the STM still arbitrates),
+  /// never correctness. Nested calls flatten like atomic(): admission
+  /// inside our own in-flight slot would self-deadlock.
+  template <typename FnType>
+  static void atomicScheduled(uint32_t ClassId, const txn::TxSummary &Declared,
+                              FnType &&Fn) {
+    atomicScheduledImpl(ClassId, &Declared, std::forward<FnType>(Fn));
+  }
+
+  /// atomicScheduled() with the footprint *sampled from the first attempt*
+  /// instead of declared: the first attempt speculates unadmitted, and if
+  /// it aborts, its read filter / update log are fingerprinted before
+  /// rollback — every retry then admits with that summary. Zero caller
+  /// knowledge needed; costs one speculative attempt before scheduling
+  /// engages (exactly the transactions that were going to abort anyway).
+  template <typename FnType>
+  static void atomicScheduled(uint32_t ClassId, FnType &&Fn) {
+    atomicScheduledImpl(ClassId, nullptr, std::forward<FnType>(Fn));
+  }
+
   static TxConfig &config() { return TxManager::config(); }
 
   /// Process-wide statistics (includes only flushed threads; benchmark
@@ -146,6 +173,87 @@ public:
   static void resetGlobalStats() {
     GlobalTxStats::instance().reset();
     obs::AbortSites::instance().reset();
+  }
+
+private:
+  /// The scheduled retry loop. Uses RetryController directly (the
+  /// interpreter's pattern) rather than RetryExecutor: each attempt is
+  /// bracketed by a scheduler ticket — admit *before* the serial-gate
+  /// entry (a parked waiter holds no gate or epoch state, so it cannot
+  /// deadlock the gate's drain), release *before* the inter-attempt
+  /// backoff pause (the freed slot drains the shard queue while we wait).
+  /// Serial-exclusive attempts skip admission entirely: they already run
+  /// alone, and parking while holding the exclusive gate would stall every
+  /// in-flight slot holder against the queue — the one circular wait the
+  /// layering otherwise rules out.
+  template <typename FnType>
+  static void atomicScheduledImpl(uint32_t ClassId,
+                                  const txn::TxSummary *Declared,
+                                  FnType &&Fn) {
+    TxManager &Tx = TxManager::current();
+    if (Tx.inTx()) {
+      ++Tx.stats().SubsumedTx;
+      Fn(Tx);
+      return;
+    }
+    txn::AdmissionScheduler &Sched = txn::AdmissionScheduler::instance();
+    txn::TxSummary Sampled;
+    const txn::TxSummary *Summary = Declared; // null until sampled
+    static const txn::TxSummary EmptySummary{};
+
+    const txn::ContentionManager &CM =
+        txn::managerFor(StmRetryAdapter::policy());
+    txn::RetryController Ctl(CM, Tx.cmState(), StmRetryAdapter::fallbackAfter(),
+                             reinterpret_cast<uintptr_t>(&Tx) *
+                                 StmRetryAdapter::seedMix());
+    Ctl.setBackoffHistogram(&Tx.stats().PhaseBackoffCycles);
+    for (;;) {
+      // An empty summary bypasses in admit() but release() still feeds the
+      // adaptive gate — the unsampled first attempt and gated-off classes
+      // keep reporting abort rates, so storms can arm the gate.
+      txn::AdmissionScheduler::Ticket Ticket;
+      if (!Ctl.inSerialMode())
+        Ticket = Sched.admit(ClassId, Summary ? *Summary : EmptySummary);
+      Ctl.beforeAttempt(StmRetryAdapter::opCount(Tx),
+                        StmRetryAdapter::zeroConflict(Tx));
+      Tx.begin();
+      txn::AttemptOutcome Out;
+      try {
+        Fn(Tx);
+        // Footprint is complete here; sample before tryCommit() — a failed
+        // validation throws through finishAttempt(), which clears the
+        // filters this reads.
+        if (!Summary) {
+          Tx.sampleSummary(Sampled);
+          Summary = &Sampled;
+        }
+        Out = Tx.tryCommit() ? txn::AttemptOutcome::Committed
+                             : txn::AttemptOutcome::RetryAbort;
+      } catch (const AbortTx &Reason) {
+        // Mid-body conflict: the partial footprint (keys opened so far) is
+        // still the best available sample. Under-approximation is safe —
+        // admission is advisory; the STM below remains the arbiter.
+        if (!Summary && Reason.Why != AbortTx::Cause::User) {
+          Tx.sampleSummary(Sampled);
+          Summary = &Sampled;
+        }
+        Tx.rollbackAttempt(Reason.Why);
+        Out = Reason.Why == AbortTx::Cause::User
+                  ? txn::AttemptOutcome::NoRetryAbort
+                  : txn::AttemptOutcome::RetryAbort;
+      } catch (...) {
+        Sched.release(Ticket, 0, Tx.siteId());
+        Tx.rollbackAttempt(AbortTx::Cause::User);
+        throw; // Ctl's destructor releases the gate/pin
+      }
+      if (Out != txn::AttemptOutcome::RetryAbort) {
+        Sched.release(Ticket, 0, Tx.siteId());
+        Ctl.onFinished();
+        return;
+      }
+      Sched.release(Ticket, 1, Tx.siteId());
+      Ctl.afterAbort(StmRetryAdapter::opCount(Tx));
+    }
   }
 };
 

@@ -503,6 +503,27 @@ public:
   std::size_t updateLogSizeForTesting() const { return UpdateLog.size(); }
   std::size_t undoLogSizeForTesting() const { return UndoLog.size(); }
 
+  /// Samples this attempt's footprint into \p S as Bloom fingerprints over
+  /// *object addresses* (DESIGN.md §3.11): reads from the read filter when
+  /// it is on (already deduplicated) or the read log otherwise; writes from
+  /// the update-log objects — the undo filter keys on field addresses, a
+  /// different keyspace, so it is deliberately not used. Call *before*
+  /// rollbackAttempt()/tryCommit(): finishAttempt() clears the filters and
+  /// logs. The scheduler replays this summary to admit the retry only when
+  /// it is provably disjoint from in-flight work.
+  void sampleSummary(txn::TxSummary &S) {
+    S.clear();
+    if (FilterReadsOn)
+      ReadFilter.appendFingerprint(S.Reads);
+    else
+      ReadLog.forEach([&](ReadEntry &Entry) {
+        S.Reads.insert(reinterpret_cast<uintptr_t>(Entry.Obj));
+      });
+    UpdateLog.forEach([&](UpdateEntry &Entry) {
+      S.Writes.insert(reinterpret_cast<uintptr_t>(Entry.Obj));
+    });
+  }
+
   /// Rolls the current attempt back (undo, release, free allocations).
   /// Public so the retry loop can clean up after catching AbortTx thrown
   /// from arbitrary user-frame depth.

@@ -72,6 +72,15 @@ def render(rec, out):
                      f"   undos {fmt_count(bo_t.get('undo_ops', 0))}"
                      f"   held {fmt_count(bo_t.get('lock_table_held', 0))}")
 
+    sc_t = totals.get("sched", {})
+    sc_d = deltas.get("sched", {})
+    if sc_t.get("enabled"):
+        lines.append(f"sched    admit/s "
+                     f"{fmt_count(sc_d.get('admitted_immediate', 0) / interval_s)}"
+                     f"   queued {fmt_count(sc_t.get('queued', 0))}"
+                     f"   gates on {fmt_count(sc_t.get('gates_on', 0))}"
+                     f"   max depth {fmt_count(sc_t.get('max_queue_depth', 0))}")
+
     lat = stm_t.get("commit_latency", {})
     if lat.get("count"):
         lines.append(f"commit latency (cycles)   "
