@@ -184,6 +184,8 @@ public:
     Reporter.addSection("phases", stm::phaseBreakdownToJson(Global));
     Reporter.addSection("mvcc", stm::mvccStatsToJson(Global));
     Reporter.addSection("boost", stm::boostStatsToJson(Global));
+    Reporter.addSection(
+        "htm", stm::htmStatsToJson(Global, txn::CmStats::instance().snapshot()));
     Reporter.addSection("abort_sites", stm::abortSitesToJson());
     Reporter.addSection("sched", txn::schedStatsToJson());
     Reporter.addSection("pass_stats", obs::Statistic::allToJson());

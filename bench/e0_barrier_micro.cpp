@@ -216,6 +216,9 @@ private:
 } // namespace
 
 int main(int argc, char **argv) {
+  // E12 owns the hardware A/B; pinning the HTM budget to zero keeps this
+  // binary's gated counts identical across RTM and no-RTM machines.
+  otm::stm::TxManager::config().HtmAttempts = 0;
   std::vector<char *> Args(argv, argv + argc);
   char MinTime[] = "--benchmark_min_time=0.01";
   if (bench::smokeMode())

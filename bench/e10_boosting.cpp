@@ -178,6 +178,9 @@ Headline runStruct(const char *Struct, const char *Mode, unsigned NumThreads,
 } // namespace
 
 int main() {
+  // E12 owns the hardware A/B; pinning the HTM budget to zero keeps this
+  // binary's gated counts identical across RTM and no-RTM machines.
+  otm::stm::TxManager::config().HtmAttempts = 0;
   BenchReport Report("e10_boosting", "E10");
   std::printf("E10: write-heavy Zipf point ops (keyspace=%u, skew=%.2f, "
               "%u%%/%u%%/%u%% insert/erase/lookup), boosted vs obj-opt\n",

@@ -271,6 +271,9 @@ void runCell(Arm A, unsigned NumThreads, double RatePerSec,
 } // namespace
 
 int main() {
+  // E12 owns the hardware A/B; pinning the HTM budget to zero keeps this
+  // binary's gated counts identical across RTM and no-RTM machines.
+  otm::stm::TxManager::config().HtmAttempts = 0;
   BenchReport Report("e11_server", "E11");
   std::printf("E11: open-loop server workload (rows=%u, %u keys/tx, %u%% "
               "writes/key, zipf skew=%.2f, %d req/thread)\n",

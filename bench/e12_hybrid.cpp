@@ -1,0 +1,168 @@
+//===- bench/e12_hybrid.cpp - E12: hybrid HTM/STM execution tier ---------===//
+//
+// Part of the otm project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// E12 (HTM A/B): the same read-modify-write workload run with the hardware
+// rung enabled (mode=htm, OTM_HTM_ATTEMPTS-equivalent budget of 8) and
+// disabled (mode=stm, budget 0), sweeping thread count and transaction
+// footprint (objects touched per transaction):
+//
+//   - small footprints are the hardware tier's target: the whole write set
+//     fits in L1 speculative state, so an uncontended transaction commits
+//     in one xbegin/xend pair with no logging, locking, or validation;
+//   - large footprints probe the capacity cliff: attempts burn cycles in
+//     the speculative region, abort on overflow, and fall back, so the
+//     hardware budget is pure overhead there.
+//
+// Reported per cell: ns/transaction (the headline A/B number), the
+// hardware hit rate (HtmCommits / Commits), and the abort-code breakdown
+// from the contention-management counters (conflict / capacity / locked /
+// explicit / other) — the attribution the ladder's tuning depends on.
+//
+// Determinism: thread count, footprint, and transaction counts are fixed,
+// so txns and commits are exact run to run and gated by bench_diff. How
+// many of those commits happened in hardware depends on the machine (a
+// no-RTM host reports hit rate 0 and identical commit totals — the
+// same-answers contract the HtmDifferential test enforces), so every HTM
+// counter is emitted under nd_-prefixed keys.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "stm/Stm.h"
+#include "txn/Htm.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace otm;
+using namespace otm::bench;
+using namespace otm::stm;
+
+namespace {
+
+const int TxPerThread = static_cast<int>(scaled(20000, 400));
+constexpr unsigned PoolSize = 8192;
+
+struct Item : TxObject {
+  Field<int64_t> Value;
+};
+
+/// One grid cell: \p NumThreads threads each run TxPerThread transactions
+/// incrementing \p Footprint pool objects, with the hardware budget set to
+/// \p HtmBudget attempts. Threads stride through disjoint-leaning regions
+/// of the pool (start = T * stride) so contention stays moderate and the
+/// A/B difference isolates the execution tier, not the conflict rate.
+void runCell(unsigned NumThreads, unsigned Footprint, unsigned HtmBudget,
+             BenchReport &Report) {
+  TxManager::config().HtmAttempts = HtmBudget;
+  std::vector<std::unique_ptr<Item>> Pool;
+  Pool.reserve(PoolSize);
+  for (unsigned I = 0; I < PoolSize; ++I)
+    Pool.push_back(std::make_unique<Item>());
+
+  StatsCapture Capture;
+  txn::CmStatsSnapshot CmBefore = txn::CmStats::instance().snapshot();
+  double Seconds = runThreads(NumThreads, [&](unsigned T) {
+    const unsigned Stride = PoolSize / (NumThreads ? NumThreads : 1);
+    const unsigned Base = T * Stride;
+    for (int I = 0; I < TxPerThread; ++I) {
+      const unsigned First = Base + (unsigned(I) * 7) % (Stride ? Stride : 1);
+      Stm::atomic([&](TxManager &Tx) {
+        for (unsigned N = 0; N < Footprint; ++N) {
+          Item *Obj = Pool[(First + N) % PoolSize].get();
+          Tx.write(Obj, &Item::Value, Tx.read(Obj, &Item::Value) + 1);
+        }
+      });
+    }
+  });
+
+  stm::TxStats S = Capture.finish();
+  txn::CmStatsSnapshot Cm = txn::CmStats::instance().snapshot();
+  const uint64_t TotalTx = uint64_t(NumThreads) * uint64_t(TxPerThread);
+  double NsPerTx = TotalTx ? Seconds * 1e9 / double(TotalTx) : 0;
+  double HitPercent =
+      S.Commits ? 100.0 * double(S.HtmCommits) / double(S.Commits) : 0;
+  const char *Mode = HtmBudget ? "htm" : "stm";
+  std::printf("%-5s %7u %9u %10.0f %8.1f%% %9llu %9llu %9llu %9llu %9llu\n",
+              Mode, NumThreads, Footprint, NsPerTx, HitPercent,
+              static_cast<unsigned long long>(S.HtmCommits),
+              static_cast<unsigned long long>(Cm.HtmAbortsConflict -
+                                              CmBefore.HtmAbortsConflict),
+              static_cast<unsigned long long>(Cm.HtmAbortsCapacity -
+                                              CmBefore.HtmAbortsCapacity),
+              static_cast<unsigned long long>(Cm.HtmAbortsLocked -
+                                              CmBefore.HtmAbortsLocked),
+              static_cast<unsigned long long>(Cm.HtmFallbacks -
+                                              CmBefore.HtmFallbacks));
+
+  obs::JsonValue Run = obs::JsonValue::object();
+  Run.set("label", "mode=" + std::string(Mode) +
+                       "/threads=" + std::to_string(NumThreads) +
+                       "/footprint=" + std::to_string(Footprint));
+  Run.set("mode", Mode);
+  Run.set("threads", uint64_t(NumThreads));
+  Run.set("footprint", uint64_t(Footprint));
+  // Deterministic counts (fixed grid; every transaction commits exactly
+  // once on some tier, so the totals are machine-independent).
+  Run.set("txns", TotalTx);
+  Run.set("commits", S.Commits);
+  // Timing (skipped by the count gate via the _ns/_percent suffixes).
+  Run.set("txn_ns", NsPerTx);
+  Run.set("htm_hit_percent", HitPercent);
+  // Machine-dependent: how the commits split across the tiers and why the
+  // hardware attempts aborted (nd_ prefix: skipped by the count gate).
+  Run.set("nd_htm_attempts", S.HtmAttempts);
+  Run.set("nd_htm_commits", S.HtmCommits);
+  Run.set("nd_htm_aborts_conflict",
+          Cm.HtmAbortsConflict - CmBefore.HtmAbortsConflict);
+  Run.set("nd_htm_aborts_capacity",
+          Cm.HtmAbortsCapacity - CmBefore.HtmAbortsCapacity);
+  Run.set("nd_htm_aborts_locked",
+          Cm.HtmAbortsLocked - CmBefore.HtmAbortsLocked);
+  Run.set("nd_htm_aborts_explicit",
+          Cm.HtmAbortsExplicit - CmBefore.HtmAbortsExplicit);
+  Run.set("nd_htm_aborts_other", Cm.HtmAbortsOther - CmBefore.HtmAbortsOther);
+  Run.set("nd_htm_fallbacks", Cm.HtmFallbacks - CmBefore.HtmFallbacks);
+  Run.set("nd_stm_aborts", S.Aborts);
+  Report.addRun(std::move(Run));
+}
+
+} // namespace
+
+int main() {
+  BenchReport Report("e12_hybrid", "E12");
+  const txn::htm::HtmRuntime &R = txn::htm::HtmRuntime::instance();
+  std::printf("E12: hybrid HTM/STM A/B, %d txns/thread over a %u-object pool "
+              "(compile=%d cpuid=%d probe=%d env_off=%d -> available=%d)\n",
+              TxPerThread, PoolSize, int(OTM_HTM != 0), R.cpuidSupported(),
+              R.probeCommitted(), R.envDisabled(), R.available());
+  if (!R.available())
+    std::printf("NOTE: no working RTM here — mode=htm rows run the software "
+                "ladder (hit rate 0, identical commit totals)\n");
+  printHeaderRule();
+  std::printf("%-5s %7s %9s %10s %9s %9s %9s %9s %9s %9s\n", "mode", "threads",
+              "footprint", "ns/txn", "hw_hit", "hw_commit", "conflict",
+              "capacity", "locked", "fallback");
+  printHeaderRule();
+  for (unsigned Footprint : {4u, 64u})
+    for (unsigned Threads : {1u, 2u, 4u, 8u})
+      for (unsigned HtmBudget : {0u, 8u})
+        runCell(Threads, Footprint, HtmBudget, Report);
+  printHeaderRule();
+  std::printf("expected shape: at footprint 4 the htm rows cut ns/txn well "
+              "below the stm rows at every thread count (no logging, no "
+              "commit-time locking) with hit rates near 100%%. footprint 64 "
+              "probes the capacity cliff, whose location is machine-"
+              "dependent: where the write set still fits in speculative "
+              "state the gap widens (the software tier's per-object cost "
+              "grows with the footprint, the hardware tier's barely does), "
+              "and past it capacity aborts collapse the hit rate and the "
+              "two modes converge.\n");
+  Report.write();
+  return 0;
+}

@@ -294,6 +294,9 @@ void printRow(const Row &R) {
 } // namespace
 
 int main() {
+  // E12 owns the hardware A/B; pinning the HTM budget to zero keeps this
+  // binary's gated counts identical across RTM and no-RTM machines.
+  otm::stm::TxManager::config().HtmAttempts = 0;
   BenchReport Report("e1_seq_overhead", "E1");
   auto emitRow = [&](const Row &R) {
     printRow(R);

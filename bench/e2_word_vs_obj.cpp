@@ -84,6 +84,9 @@ double runWordStm(unsigned FieldsPerObject) {
 } // namespace
 
 int main() {
+  // E12 owns the hardware A/B; pinning the HTM budget to zero keeps this
+  // binary's gated counts identical across RTM and no-RTM machines.
+  otm::stm::TxManager::config().HtmAttempts = 0;
   BenchReport Report("e2_word_vs_obj", "E2");
   std::printf("E2: object-granularity (1 open/object) vs word-granularity "
               "(1 barrier/field)\n");

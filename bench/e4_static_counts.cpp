@@ -43,6 +43,9 @@ unsigned barriersUnder(const char *Source, const OptConfig &Config) {
 } // namespace
 
 int main() {
+  // E12 owns the hardware A/B; pinning the HTM budget to zero keeps this
+  // binary's gated counts identical across RTM and no-RTM machines.
+  otm::stm::TxManager::config().HtmAttempts = 0;
   otm::bench::BenchReport Report("e4_static_counts", "E4");
   ConfigStep Steps[] = {
       {"naive", OptConfig::none()},

@@ -97,6 +97,9 @@ void printSample(const char *Config, const RunSample &S) {
 } // namespace
 
 int main() {
+  // E12 owns the hardware A/B; pinning the HTM budget to zero keeps this
+  // binary's gated counts identical across RTM and no-RTM machines.
+  otm::stm::TxManager::config().HtmAttempts = 0;
   BenchReport Report("e5_dynamic_counts", "E5");
   unsigned NumPrograms = 0;
   const TmirProgram *Programs = tmirPrograms(NumPrograms);

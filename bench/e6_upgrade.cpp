@@ -110,6 +110,9 @@ void runProgram(const char *Name, BenchReport &Report) {
 } // namespace
 
 int main() {
+  // E12 owns the hardware A/B; pinning the HTM budget to zero keeps this
+  // binary's gated counts identical across RTM and no-RTM machines.
+  otm::stm::TxManager::config().HtmAttempts = 0;
   BenchReport Report("e6_upgrade", "E6");
   std::printf("E6: read-to-update upgrade (single thread, interpreter)\n");
   printHeaderRule();

@@ -201,6 +201,9 @@ void runBoostedCell(unsigned WritePercent, unsigned HotSet,
 } // namespace
 
 int main() {
+  // E12 owns the hardware A/B; pinning the HTM budget to zero keeps this
+  // binary's gated counts identical across RTM and no-RTM machines.
+  otm::stm::TxManager::config().HtmAttempts = 0;
   BenchReport Report("e7_contention", "E7");
   std::printf("E7: aborts vs write ratio and hot-set size (%u threads, "
               "read-modify-write transactions)\n", NumThreads);

@@ -127,6 +127,9 @@ void printSample(const char *Label, const Sample &S, BenchReport &Report) {
 } // namespace
 
 int main() {
+  // E12 owns the hardware A/B; pinning the HTM budget to zero keeps this
+  // binary's gated counts identical across RTM and no-RTM machines.
+  otm::stm::TxManager::config().HtmAttempts = 0;
   BenchReport Report("e8_gc_logs", "E8");
   const long long Iterations = static_cast<long long>(scaled(20000, 1000));
   std::printf("E8: GC log compaction during one long transaction "

@@ -168,6 +168,9 @@ void runCell(unsigned NumThreads, unsigned ReaderPercent, bool Snapshot,
 } // namespace
 
 int main() {
+  // E12 owns the hardware A/B; pinning the HTM budget to zero keeps this
+  // binary's gated counts identical across RTM and no-RTM machines.
+  otm::stm::TxManager::config().HtmAttempts = 0;
   BenchReport Report("e9_read_mostly", "E9");
   std::printf("E9: read-mostly Zipf workload, snapshot vs validate read-only "
               "commits (pool=%u, %u reads/tx, skew=%.2f)\n",

@@ -42,7 +42,10 @@ TIMING_FIELDS = {"cpu_time_ns", "real_time_ns", "seconds", "iterations",
 # vary with the host clock, so new rows of this shape must never trip the
 # count gate. The nd_ prefix marks counts that are nondeterministic by
 # construction (abort/retry/wait totals that depend on thread interleaving);
-# benchmarks use it to report them without joining the gate.
+# benchmarks use it to report them without joining the gate. E12's hardware
+# tier is the canonical example: every transaction commits exactly once, so
+# txns/commits are gated, but *which tier* committed it depends on the
+# machine's RTM support — the hit split and abort-code counters are nd_.
 TIMING_PATTERNS = re.compile(
     r"(_cycles|_ns|_us|_ms|_per_sec|_percent)$|^(p50|p99|p999)(_|$)|^nd_")
 

@@ -52,6 +52,14 @@ SCHED_KEYS = ("enabled", "mode", "admitted_immediate", "queued",
               "aborts_reported", "gate_flips_on", "gate_flips_off",
               "gates_on", "max_queue_depth", "queue_wait_us")
 
+# Same contract for the "htm" source (hybrid HTM/STM tier, DESIGN.md
+# section 3.12): keys exist with value 0 (enabled=false) in -DOTM_HTM=0
+# builds and on machines whose runtime probe found no working RTM.
+HTM_KEYS = ("enabled", "available", "attempts", "commits", "aborts_conflict",
+            "aborts_capacity", "aborts_explicit", "aborts_serial",
+            "aborts_locked", "aborts_unsupported", "aborts_user",
+            "aborts_exception", "aborts_other", "fallbacks")
+
 
 def check_deltas_nonnegative(node, path, errors):
     if isinstance(node, dict):
@@ -135,6 +143,16 @@ def validate_file(path):
                         for key in SCHED_KEYS:
                             if key not in sched:
                                 errors.append(f"line {lineno}: totals.sched "
+                                              f"missing key {key!r}")
+                if isinstance(totals, dict) and "htm" in totals:
+                    htm = totals["htm"]
+                    if not isinstance(htm, dict):
+                        errors.append(f"line {lineno}: totals.htm is not "
+                                      f"an object")
+                    else:
+                        for key in HTM_KEYS:
+                            if key not in htm:
+                                errors.append(f"line {lineno}: totals.htm "
                                               f"missing key {key!r}")
                 records += 1
     except OSError as err:

@@ -21,6 +21,8 @@
 #include "stm/Mvcc.h"
 #include "stm/TxStats.h"
 #include "txn/AbstractLockTable.h"
+#include "txn/CmStats.h"
+#include "txn/Htm.h"
 
 namespace otm {
 namespace stm {
@@ -129,6 +131,32 @@ inline obs::JsonValue boostStatsToJson(const TxStats &S) {
 #endif
   V.set("lock_table_capacity",
         static_cast<uint64_t>(txn::AbstractLockTable::capacity()));
+  return V;
+}
+
+/// The hardware tier's view (DESIGN.md §3.12): attempt/commit volume from
+/// the per-thread stats, abort attribution by code and fallback transitions
+/// from the process-wide CmStats. "enabled" is the compile switch,
+/// "available" the runtime probe verdict — both keys exist (false/0) in
+/// -DOTM_HTM=0 builds and on no-RTM hosts: the telemetry schema must not
+/// fork on either switch.
+inline obs::JsonValue htmStatsToJson(const TxStats &S,
+                                     const txn::CmStatsSnapshot &C) {
+  obs::JsonValue V = obs::JsonValue::object();
+  V.set("enabled", OTM_HTM != 0);
+  V.set("available", txn::htm::HtmRuntime::instance().available());
+  V.set("attempts", S.HtmAttempts);
+  V.set("commits", S.HtmCommits);
+  V.set("aborts_conflict", C.HtmAbortsConflict);
+  V.set("aborts_capacity", C.HtmAbortsCapacity);
+  V.set("aborts_explicit", C.HtmAbortsExplicit);
+  V.set("aborts_serial", C.HtmAbortsSerial);
+  V.set("aborts_locked", C.HtmAbortsLocked);
+  V.set("aborts_unsupported", C.HtmAbortsUnsupported);
+  V.set("aborts_user", C.HtmAbortsUser);
+  V.set("aborts_exception", C.HtmAbortsException);
+  V.set("aborts_other", C.HtmAbortsOther);
+  V.set("fallbacks", C.HtmFallbacks);
   return V;
 }
 

@@ -94,6 +94,20 @@ struct StmRetryAdapter {
   /// writer) while still pinning the epoch. Evaluated per attempt so an
   /// upgrade restart re-enters the gate as a normal writer.
   static bool zeroConflict(Manager &Tx) { return Tx.armAttemptMode(); }
+
+#if OTM_HTM
+  // Hardware rung (DESIGN.md §3.12): delegate straight to the manager's
+  // hardware-mode surface. htmAttempts is sampled from the live config so
+  // tests and benches can flip the budget per phase.
+  static unsigned htmAttempts() { return TxManager::config().HtmAttempts; }
+  static bool htmEligible(Manager &Tx) { return Tx.htmEligible(); }
+  static void htmPrepare(Manager &Tx) { Tx.htmPrepare(); }
+  static void htmEnter(Manager &Tx) { Tx.htmEnter(); }
+  static void htmCommit(Manager &Tx) { Tx.htmCommit(); }
+  static void htmAbortReset(Manager &Tx) { Tx.htmAbortReset(); }
+  static void htmUnpin(Manager &Tx) { Tx.htmUnpin(); }
+  static void htmUserAbort(Manager &Tx) { Tx.htmNoteUserAbort(); }
+#endif
 };
 
 class Stm {

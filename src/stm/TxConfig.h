@@ -62,6 +62,14 @@ struct TxConfig {
   /// but it wastes the chains already built.
   unsigned MvVersions = defaultMvVersions();
 
+  /// Hardware (RTM) attempts tried before the software retry ladder — the
+  /// top rung of the three-tier escalation (DESIGN.md §3.12). 0 sends every
+  /// transaction straight to the STM. The default honors the OTM_HTM=0
+  /// runtime kill switch and OTM_HTM_ATTEMPTS=<n>; the knob is inert when
+  /// the tier is compiled out (-DOTM_HTM=0) or the runtime capability
+  /// probe found no working RTM on this machine.
+  unsigned HtmAttempts = defaultHtmAttempts();
+
   static unsigned defaultSerialFallbackAfter() {
     if (const char *E = std::getenv("OTM_RETRY_BUDGET"))
       return static_cast<unsigned>(std::strtoul(E, nullptr, 10));
@@ -70,6 +78,15 @@ struct TxConfig {
 
   static unsigned defaultMvVersions() {
     if (const char *E = std::getenv("OTM_MV_VERSIONS"))
+      return static_cast<unsigned>(std::strtoul(E, nullptr, 10));
+    return 8;
+  }
+
+  static unsigned defaultHtmAttempts() {
+    if (const char *E = std::getenv("OTM_HTM"))
+      if (std::strtoul(E, nullptr, 10) == 0)
+        return 0; // kill switch: OTM_HTM=0 forces the software ladder
+    if (const char *E = std::getenv("OTM_HTM_ATTEMPTS"))
       return static_cast<unsigned>(std::strtoul(E, nullptr, 10));
     return 8;
   }

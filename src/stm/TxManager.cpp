@@ -61,6 +61,10 @@ bool TxManager::validateEntry(const ReadEntry &Entry) const {
 
 bool TxManager::validate() {
   assert(inTx() && "validate outside a transaction");
+#if OTM_HTM
+  if (OTM_UNLIKELY(HtmMode))
+    return true; // the speculation hardware keeps the read set coherent
+#endif
   // Walk the raw chunk arrays (no per-index arithmetic) and prefetch the
   // next entry's STM word one step ahead: the words live in the objects,
   // not the log, so a large read set takes a dependent cache miss per
@@ -304,6 +308,13 @@ WordValue TxManager::waitForUnowned(TxObject *Obj) {
 
 void TxManager::boostAcquireKey(uint64_t ContainerId, uint64_t Key) {
   assert(inTx() && "boostAcquireKey outside a transaction");
+#if OTM_HTM
+  // Abstract locks outlive the attempt (released at commit/abort time by
+  // the deferred-action machinery) — that protocol cannot run inside a
+  // hardware region. Boosted operations always take the software tier.
+  if (OTM_UNLIKELY(HtmMode))
+    txn::htm::abortWith<txn::htm::CodeUnsupported>();
+#endif
 #if OTM_MVCC
   if (OTM_UNLIKELY(SnapshotMode))
     upgradeToWriter(); // boosted ops mutate in place: not read-only
@@ -387,6 +398,10 @@ void TxManager::boostAcquireKey(uint64_t ContainerId, uint64_t Key) {
 
 void TxManager::boostAcquireStructural(uint64_t ContainerId) {
   assert(inTx() && "boostAcquireStructural outside a transaction");
+#if OTM_HTM
+  if (OTM_UNLIKELY(HtmMode)) // same rule as boostAcquireKey
+    txn::htm::abortWith<txn::htm::CodeUnsupported>();
+#endif
 #if OTM_MVCC
   if (OTM_UNLIKELY(SnapshotMode))
     upgradeToWriter();
@@ -527,6 +542,13 @@ void TxManager::abortAndThrow(AbortTx::Cause Why) {
 }
 
 void TxManager::userAbort() {
+#if OTM_HTM
+  // Inside a hardware region there is nothing to unwind in software: the
+  // explicit abort rolls everything back and hands the executor the User
+  // code, which accounts the abort (htmNoteUserAbort) and does not retry.
+  if (OTM_UNLIKELY(HtmMode))
+    txn::htm::abortWith<txn::htm::CodeUser>();
+#endif
   ++Stats.AbortsByUser;
   abortAndThrow(AbortTx::Cause::User);
 }
@@ -790,6 +812,10 @@ struct StmTelemetrySources {
     });
     T.registerSource("boost", [] {
       return boostStatsToJson(GlobalTxStats::instance().snapshot());
+    });
+    T.registerSource("htm", [] {
+      return htmStatsToJson(GlobalTxStats::instance().snapshot(),
+                            txn::CmStats::instance().snapshot());
     });
   }
 } RegisterStmSources;

@@ -53,6 +53,7 @@
 #include "support/TxPool.h"
 #include "txn/AbstractLockTable.h"
 #include "txn/ContentionManager.h"
+#include "txn/Htm.h"
 
 #include <cassert>
 #include <cstdint>
@@ -166,6 +167,19 @@ public:
   /// already owns the object for update skips logging entirely.
   void openForRead(TxObject *Obj) {
     assert(inTx() && "openForRead outside a transaction");
+#if OTM_HTM
+    // Hardware mode: the speculation hardware tracks the read set, so the
+    // only job left is conflict detection against *software* owners — an
+    // owned word means a writer is mid-flight with dirty in-place values.
+    // Loading the word also subscribes it: a later software acquisition
+    // aborts this region via coherence.
+    if (OTM_UNLIKELY(HtmMode)) {
+      ++Stats.OpensForRead;
+      if (OTM_UNLIKELY(isOwned(Obj->Word.load(std::memory_order_acquire))))
+        txn::htm::abortWith<txn::htm::CodeLocked>();
+      return;
+    }
+#endif
 #if OTM_MVCC
     // Decomposed opens hand out raw in-place access, which a snapshot
     // cannot honor; only the combined read()/snapshotLoad() barriers are
@@ -196,6 +210,23 @@ public:
   /// and then aborts this transaction.
   void openForUpdate(TxObject *Obj) {
     assert(inTx() && "openForUpdate outside a transaction");
+#if OTM_HTM
+    // Hardware mode: no ownership CAS, no update log. Publishing the new
+    // version stamp *speculatively* is what keeps software validation
+    // exact — if this region commits, every concurrent software read of
+    // the object sees a moved word and fails its equality check; if it
+    // aborts, the store was never visible. Re-opens just restamp (same
+    // clock stamp under MVCC, another per-object bump otherwise — only
+    // equality matters to validators in that mode).
+    if (OTM_UNLIKELY(HtmMode)) {
+      ++Stats.OpensForUpdate;
+      WordValue W = Obj->Word.load(std::memory_order_acquire);
+      if (OTM_UNLIKELY(isOwned(W)))
+        txn::htm::abortWith<txn::htm::CodeLocked>();
+      Obj->Word.store(makeVersion(htmStamp(W)), std::memory_order_relaxed);
+      return;
+    }
+#endif
 #if OTM_MVCC
     // Dynamic read-only detection: the first update barrier restarts the
     // attempt as a writer (the paper's upgrade rule lifted to tx level).
@@ -227,6 +258,10 @@ public:
   /// opened for update. Filtered dynamically unless disabled.
   template <typename T> void logUndo(Field<T> *F) {
     assert(inTx() && "logUndo outside a transaction");
+#if OTM_HTM
+    if (OTM_UNLIKELY(HtmMode))
+      return; // the hardware rolls every speculative store back itself
+#endif
     if (FilterUndoOn && !UndoFilter.insert(reinterpret_cast<uintptr_t>(F))) {
       ++Stats.UndosFiltered;
       return;
@@ -250,6 +285,13 @@ public:
   /// Registers an externally allocated object as transaction-local.
   template <typename T> void recordAlloc(T *Obj) {
     assert(inTx() && "recordAlloc outside a transaction");
+#if OTM_HTM
+    // Registering a destructor for the abort path cannot work when the
+    // abort path is a hardware rollback; escalate to the software tier
+    // (which also unwinds the speculative TxPool bump of the allocation).
+    if (OTM_UNLIKELY(HtmMode))
+      txn::htm::abortWith<txn::htm::CodeUnsupported>();
+#endif
 #if OTM_MVCC
     if (OTM_UNLIKELY(SnapshotMode))
       upgradeToWriter(); // allocation is a side effect: not read-only
@@ -266,6 +308,10 @@ public:
   /// have opened \p Obj for update (so no concurrent committer holds it).
   template <typename T> void retireOnCommit(T *Obj) {
     assert(inTx() && "retireOnCommit outside a transaction");
+#if OTM_HTM
+    if (OTM_UNLIKELY(HtmMode)) // epoch retirement is a commit side effect
+      txn::htm::abortWith<txn::htm::CodeUnsupported>();
+#endif
 #if OTM_MVCC
     if (OTM_UNLIKELY(SnapshotMode))
       upgradeToWriter(); // deletion is a side effect: not read-only
@@ -464,6 +510,96 @@ public:
 #endif
 
   //===--------------------------------------------------------------------===
+  // Hardware (RTM) execution mode — see DESIGN.md §3.12
+  //===--------------------------------------------------------------------===
+
+  /// True when the hardware tier is compiled in (-DOTM_HTM, default on for
+  /// x86-64 non-TSan builds).
+  static constexpr bool htmEnabled() { return OTM_HTM != 0; }
+
+  /// True while the current attempt runs inside a hardware transaction.
+  bool inHtmMode() const {
+#if OTM_HTM
+    return HtmMode;
+#else
+    return false;
+#endif
+  }
+
+#if OTM_HTM
+  /// Whether the *next* top-level attempt may try the hardware tier.
+  /// Snapshot-bound transactions stay on the MVCC path: it already commits
+  /// read-only work without validation or aborts, and a hardware attempt
+  /// would only add a way to lose to writers.
+  bool htmEligible() const {
+#if OTM_MVCC
+    if (wantsSnapshot())
+      return false;
+#endif
+    return true;
+  }
+
+  /// Pre-xbegin prologue: counts the attempt and pins the epoch. The pin
+  /// must happen *outside* the speculative region — a speculative store to
+  /// the pin slot is invisible to reclaimers until commit, which is
+  /// exactly when the protection is too late.
+  void htmPrepare() {
+    ++Stats.HtmAttempts;
+    EPin.pin();
+  }
+  /// Post-attempt epilogue (any outcome): drops htmPrepare's pin.
+  void htmUnpin() { EPin.unpin(); }
+
+  /// Inside-the-region begin: runs after a successful xbegin. Every store
+  /// here is speculative, so an abort rewinds the mode flags and counters
+  /// by itself — htmAbortReset() below is defensive, not load-bearing.
+  void htmEnter() {
+    Depth = 1; // nested atomics flatten off inTx(), same as software
+    HtmMode = true;
+#if OTM_MVCC
+    HtmStamped = false;
+#endif
+    ++Stats.Starts;
+    Obs.onBegin(0);
+  }
+
+  /// Inside-the-region commit: runs right before xend, so the counter
+  /// bumps publish atomically with the data — HtmCommits is commit-exact.
+  void htmCommit() {
+    ++Stats.Commits;
+    ++Stats.HtmCommits;
+#if OTM_MVCC
+    ReadOnlyHint = false;
+#endif
+    Obs.onCommit(0, Stats.CommitTscCycles, Stats.RetriesPerCommit);
+    HtmMode = false;
+    Depth = 0;
+  }
+
+  /// Post-abort cleanup. The hardware already restored HtmMode/Depth (they
+  /// were set speculatively); clearing again is free and keeps the manager
+  /// obviously consistent even if an abort path changes someday.
+  void htmAbortReset() {
+    HtmMode = false;
+    Depth = 0;
+  }
+
+  /// Accounting for a userAbort() that fired inside a hardware region: the
+  /// rollback erased the speculative Starts bump, so restore the exact
+  /// counter shape a software user abort leaves behind.
+  void htmNoteUserAbort() {
+    ++Stats.Starts;
+    ++Stats.AbortsByUser;
+    ++Stats.Aborts;
+#if OTM_MVCC
+    ForceWriter = false;
+    ReadOnlyHint = false;
+#endif
+    Obs.onAbort(obs::AuxCauseUser, 0);
+  }
+#endif // OTM_HTM
+
+  //===--------------------------------------------------------------------===
   // Validation
   //===--------------------------------------------------------------------===
 
@@ -610,6 +746,10 @@ private:
   template <typename LogType, typename FnType>
   void deferAction(LogType &Log, FnType &&Fn) {
     assert(inTx() && "deferred action outside a transaction");
+#if OTM_HTM
+    if (OTM_UNLIKELY(HtmMode)) // deferred handlers need the software logs
+      txn::htm::abortWith<txn::htm::CodeUnsupported>();
+#endif
 #if OTM_MVCC
     if (OTM_UNLIKELY(SnapshotMode))
       upgradeToWriter(); // a deferred handler is a side effect
@@ -637,6 +777,32 @@ private:
 
   bool boostStateEmpty() const {
     return CommitActions.empty() && AbortActions.empty() && BoostLocks.empty();
+  }
+#endif
+
+#if OTM_HTM
+  /// The version stamp a hardware transaction publishes into the STM words
+  /// it writes. Under MVCC every stamp must come from the global commit
+  /// clock (snapshot readers order by it), and the fetch_add happens
+  /// *inside* the speculative region: the RMW joins the transaction, so if
+  /// this region survives to commit, no other clock user intervened and
+  /// the stamp is effectively commit-time — unique and monotone. The cost
+  /// is that any concurrent clock bump (every software commit) aborts a
+  /// speculating hardware writer; E12 prices that honestly. Without MVCC,
+  /// version numbers only feed equality checks, so a per-object bump off
+  /// the previous word suffices and touches no shared line.
+  uint64_t htmStamp(WordValue PrevW) {
+#if OTM_MVCC
+    (void)PrevW;
+    if (!HtmStamped) {
+      HtmStampVal =
+          1 + mv::commitClock().fetch_add(1, std::memory_order_acq_rel);
+      HtmStamped = true;
+    }
+    return HtmStampVal;
+#else
+    return versionOf(PrevW) + 1;
+#endif
   }
 #endif
 
@@ -671,6 +837,13 @@ private:
   TxConfig ActiveConfig;
   bool FilterReadsOn = true;
   bool FilterUndoOn = true;
+#if OTM_HTM
+  bool HtmMode = false; ///< current attempt runs inside a hardware txn
+#if OTM_MVCC
+  bool HtmStamped = false;   ///< this hardware attempt drew its clock stamp
+  uint64_t HtmStampVal = 0;  ///< ... and this is it
+#endif
+#endif
 #if OTM_MVCC
   bool SnapshotMode = false;   ///< current attempt runs validate-free
   bool ForceWriter = false;    ///< upgraded: rerun attempts as a writer

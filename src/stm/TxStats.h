@@ -56,7 +56,11 @@ namespace stm {
   X(BoostLockWaits)         /* ... that found a foreign owner first */         \
   X(BoostCommitOps)         /* deferred on-commit actions executed */          \
   X(BoostUndoOps)           /* semantic inverse actions executed on abort */   \
-  X(BoostStructuralFallbacks) /* whole-container ops via the gate */
+  X(BoostStructuralFallbacks) /* whole-container ops via the gate */           \
+  X(HtmAttempts) /* hardware (RTM) attempts issued, counted pre-xbegin */      \
+  X(HtmCommits)  /* transactions retired on the hardware tier; bumped */       \
+                 /* inside the speculative region, so an aborted attempt */    \
+                 /* rolls its bump back and the counter is commit-exact */
 
 /// Power-of-two distributions sampled when obs::setSampling(true):
 /// CommitTscCycles is outermost begin() -> published commit in TSC ticks;

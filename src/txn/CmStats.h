@@ -36,7 +36,17 @@ namespace txn {
   X(FallbackCommits)  /* transactions that finished while serial */            \
   X(GateWaits)        /* attempts that stalled behind a serial owner */        \
   X(SemanticWaits)    /* abstract-lock conflicts where the policy waited */    \
-  X(SemanticPriorityAborts) /* abstract-lock conflicts lost on priority */
+  X(SemanticPriorityAborts) /* abstract-lock conflicts lost on priority */     \
+  X(HtmAbortsExplicit)    /* hw aborts via xabort (all codes) */               \
+  X(HtmAbortsSerial)      /* ... code: serial gate held by a writer */         \
+  X(HtmAbortsLocked)      /* ... code: object/stripe owned by software */      \
+  X(HtmAbortsUnsupported) /* ... code: op cannot run speculatively */          \
+  X(HtmAbortsUser)        /* ... code: Tx.userAbort inside hardware */         \
+  X(HtmAbortsException)   /* ... code: user exception inside hardware */       \
+  X(HtmAbortsConflict)    /* hw aborts: cache-coherence conflict */            \
+  X(HtmAbortsCapacity)    /* hw aborts: speculation buffer overflow */         \
+  X(HtmAbortsOther)       /* hw aborts: interrupt/fault/unclassified */        \
+  X(HtmFallbacks)         /* transactions that left hardware for the STM */
 
 /// Plain snapshot block.
 struct CmStatsSnapshot {

@@ -38,6 +38,7 @@
 #include "support/Backoff.h"
 #include "txn/CmStats.h"
 #include "txn/ContentionManager.h"
+#include "txn/Htm.h"
 #include "txn/SerialGate.h"
 
 #include <optional>
@@ -219,6 +220,115 @@ private:
   GateMode Mode = GateMode::Outside;
 };
 
+#if OTM_HTM
+/// The hardware rung of the ladder: up to Adapter::htmAttempts() RTM
+/// attempts before RetryExecutor::atomic falls through to the software
+/// retry loop. Returns true when an attempt committed (or terminally
+/// user-aborted) in hardware, false to hand the transaction to the STM.
+///
+/// Interaction rules (DESIGN.md §3.12):
+///  - The serial gate is subscribed from inside the region: a pre-begin
+///    check skips doomed attempts cheaply, and the post-begin re-check
+///    loads the exclusive flag transactionally, so a writer entering
+///    exclusive mode after we started aborts us instead of racing us.
+///  - The epoch pin is taken *outside* the region (htmPrepare): a pin
+///    stored speculatively is invisible to concurrent reclaimers until
+///    commit, which is too late to protect the reads before it.
+///  - User aborts (CodeUser) are terminal: the adapter records the abort
+///    and we return true without touching the software tier, matching
+///    AttemptOutcome::NoRetryAbort semantics.
+///  - Everything else maps onto the same contention-management hooks the
+///    software tier uses: retryable aborts consult CM.pauseAfterAbort with
+///    the shared Backoff, and exhaustion bumps HtmFallbacks before the STM
+///    takes over.
+template <typename Adapter, typename FnType>
+bool htmTryExecute(typename Adapter::Manager &Tx, FnType &Fn) {
+  const unsigned MaxAttempts = Adapter::htmAttempts();
+  if (OTM_LIKELY(MaxAttempts == 0))
+    return false;
+  if (!htm::HtmRuntime::instance().available())
+    return false;
+  if (!Adapter::htmEligible(Tx))
+    return false;
+  SerialGate &Gate = SerialGate::instance();
+  CmStats &CS = CmStats::instance();
+  const ContentionManager &CM = managerFor(Adapter::policy());
+  Backoff B(reinterpret_cast<uintptr_t>(&Tx) * Adapter::seedMix());
+  for (unsigned Attempt = 1; Attempt <= MaxAttempts; ++Attempt) {
+    if (Gate.exclusiveActive())
+      break; // an irrevocable writer runs; wait at the gate in software
+    Adapter::htmPrepare(Tx);
+    unsigned Status = htm::begin();
+    if (Status == htm::Started) {
+      // Transactional load of the gate flag: subscribes this region to it,
+      // so enterExclusive() by anyone else aborts us before their drain.
+      if (OTM_UNLIKELY(Gate.exclusiveActive()))
+        htm::abortWith<htm::CodeSerial>();
+      Adapter::htmEnter(Tx);
+      try {
+        Fn(Tx);
+      } catch (...) {
+        // Unwinding inside a region is not generally safe (the handler
+        // frames may alias speculative state); funnel through an explicit
+        // abort and let the software tier surface the exception.
+        htm::abortWith<htm::CodeException>();
+      }
+      Adapter::htmCommit(Tx);
+      htm::end();
+      Adapter::htmUnpin(Tx);
+      return true;
+    }
+    // Aborted: the region's side effects (including htmEnter's bookkeeping)
+    // rolled back; only the pre-begin prepare state survives.
+    Adapter::htmAbortReset(Tx);
+    Adapter::htmUnpin(Tx);
+    bool RetryHw = (Status & htm::StatusRetry) != 0;
+    if (Status & htm::StatusExplicit) {
+      CS.bumpHtmAbortsExplicit();
+      switch (htm::abortCode(Status)) {
+      case htm::CodeSerial:
+        CS.bumpHtmAbortsSerial();
+        RetryHw = false; // the gate is busy; go wait at it properly
+        break;
+      case htm::CodeUnsupported:
+        CS.bumpHtmAbortsUnsupported();
+        RetryHw = false; // the body needs software-only machinery
+        break;
+      case htm::CodeUser:
+        CS.bumpHtmAbortsUser();
+        Adapter::htmUserAbort(Tx);
+        return true; // terminal: user aborts never retry on any tier
+      case htm::CodeException:
+        CS.bumpHtmAbortsException();
+        RetryHw = false; // rerun in software so the exception propagates
+        break;
+      case htm::CodeLocked:
+        CS.bumpHtmAbortsLocked();
+        RetryHw = true; // software owner mid-commit; likely gone next try
+        break;
+      default:
+        break;
+      }
+    } else if (Status & htm::StatusConflict) {
+      CS.bumpHtmAbortsConflict();
+    } else if (Status & htm::StatusCapacity) {
+      CS.bumpHtmAbortsCapacity();
+      RetryHw = false; // will not fit this time either
+    } else {
+      // Spurious (interrupt, page fault, ...): retryable but unattributed.
+      CS.bumpHtmAbortsOther();
+    }
+    if (!RetryHw)
+      break;
+    // Same inter-attempt arbitration as the software rungs.
+    if (CM.pauseAfterAbort(Attempt, B))
+      CS.bumpAttemptPauses();
+  }
+  CS.bumpHtmFallbacks();
+  return false;
+}
+#endif // OTM_HTM
+
 /// The lambda-style retry loop. An Adapter provides:
 ///
 /// \code
@@ -240,6 +350,18 @@ private:
 ///     static uint64_t seedMix();               // backoff seed multiplier
 ///     // optional: next attempt cannot conflict -> bypass the serial gate
 ///     static bool zeroConflict(Manager &);
+///     // optional (all-or-none): opt into the hardware rung. htmAttempts
+///     // is the per-transaction RTM budget (0 = software only); the rest
+///     // flip the manager in and out of hardware execution mode. See
+///     // htmTryExecute above for the exact call sequence.
+///     static unsigned htmAttempts();
+///     static bool htmEligible(Manager &);
+///     static void htmPrepare(Manager &);    // outside the region: pin
+///     static void htmEnter(Manager &);      // inside: enter HtmMode
+///     static void htmCommit(Manager &);     // inside: commit bookkeeping
+///     static void htmAbortReset(Manager &); // after abort: clear HtmMode
+///     static void htmUnpin(Manager &);      // outside: drop the pin
+///     static void htmUserAbort(Manager &);  // record a terminal CodeUser
 ///   };
 /// \endcode
 template <typename Adapter> class RetryExecutor {
@@ -255,6 +377,13 @@ public:
       Fn(Tx);
       return;
     }
+#if OTM_HTM
+    // Top rung: hardware attempts, for adapters that opt in. Falls through
+    // to the software retry loop on exhaustion or ineligibility.
+    if constexpr (requires { Adapter::htmAttempts(); })
+      if (htmTryExecute<Adapter>(Tx, Fn))
+        return;
+#endif
     const ContentionManager &CM = managerFor(Adapter::policy());
     RetryController Ctl(CM, Adapter::cmState(Tx), Adapter::fallbackAfter(),
                         reinterpret_cast<uintptr_t>(&Tx) *

@@ -163,7 +163,7 @@ TEST(CmStatsTest, BumpSnapshotResetAgree) {
     EXPECT_NE(Name, nullptr);
     ++Counters;
   });
-  EXPECT_EQ(Counters, 8u);
+  EXPECT_EQ(Counters, 18u); // 8 software + 10 HTM abort/fallback counters
 }
 
 //===----------------------------------------------------------------------===//

@@ -81,6 +81,19 @@ def render(rec, out):
                      f"   gates on {fmt_count(sc_t.get('gates_on', 0))}"
                      f"   max depth {fmt_count(sc_t.get('max_queue_depth', 0))}")
 
+    ht_t = totals.get("htm", {})
+    ht_d = deltas.get("htm", {})
+    if ht_t.get("enabled"):
+        avail = "yes" if ht_t.get("available") else "no"
+        aborts = sum(ht_d.get(k, 0) for k in
+                     ("aborts_conflict", "aborts_capacity", "aborts_explicit",
+                      "aborts_other"))
+        lines.append(f"htm      rtm={avail}  commit/s "
+                     f"{fmt_count(ht_d.get('commits', 0) / interval_s)}"
+                     f"   abort/s {fmt_count(aborts / interval_s)}"
+                     f"   fallback/s "
+                     f"{fmt_count(ht_d.get('fallbacks', 0) / interval_s)}")
+
     lat = stm_t.get("commit_latency", {})
     if lat.get("count"):
         lines.append(f"commit latency (cycles)   "
